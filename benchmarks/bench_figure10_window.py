@@ -1,0 +1,25 @@
+"""Figure 10 — efficiency vs the sliding-window size w.
+
+Paper shape: the cost of every method grows with w (more in-window tuples to
+impute and compare); TER-iDS has the lowest cost at every window size.  The
+paper sweeps w in 500..3000; the bench uses the proportionally scaled-down
+window sizes of the bench grid.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, run_figure
+
+from repro.baselines.pipelines import METHOD_CON_ER, METHOD_IJ_GER, METHOD_TER_IDS
+from repro.experiments.figures import figure10_window
+
+WINDOWS = (15, 25, 40, 60)
+METHODS = (METHOD_TER_IDS, METHOD_IJ_GER, METHOD_CON_ER)
+
+
+def test_figure10_window(benchmark):
+    rows = run_figure(
+        benchmark, figure10_window,
+        "Figure 10: wall clock time (sec/tuple) vs sliding window size w",
+        dataset="citations", windows=WINDOWS, methods=METHODS,
+        scale=BENCH_SCALE, seed=BENCH_SEED)
+    assert len(rows) == len(WINDOWS) * len(METHODS)
+    assert {row["window_size"] for row in rows} == set(WINDOWS)

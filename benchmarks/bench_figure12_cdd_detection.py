@@ -1,0 +1,30 @@
+"""Figure 12 — offline CDD detection (rule mining) cost per dataset.
+
+Paper shape: datasets with larger repositories need more time to detect CDD
+rules, and EBooks costs disproportionately more than similarly sized
+datasets because of its large token sets.
+"""
+
+from bench_utils import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    FULL_DATASETS,
+    run_figure,
+)
+
+from repro.experiments.figures import figure12_cdd_detection_cost
+
+
+def test_figure12_cdd_detection_cost(benchmark):
+    rows = run_figure(
+        benchmark, figure12_cdd_detection_cost,
+        "Figure 12: offline CDD detection cost per data set",
+        datasets=FULL_DATASETS, scale=BENCH_SCALE, seed=BENCH_SEED)
+    assert len(rows) == len(FULL_DATASETS)
+    for row in rows:
+        assert row["cdd_rules_detected"] > 0
+        assert row["seconds"] > 0
+    by_dataset = {row["dataset"]: row for row in rows}
+    # Songs has the largest repository, so it should not be the cheapest.
+    cheapest = min(rows, key=lambda row: row["seconds"])
+    assert by_dataset["songs"]["repository_tuples"] >= cheapest["repository_tuples"]

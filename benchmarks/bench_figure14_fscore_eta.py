@@ -1,0 +1,27 @@
+"""Figure 14 — accuracy (F-score) vs the repository size ratio η.
+
+Paper shape: accuracy of the repository-based methods (TER-iDS, DD+ER,
+er+ER) improves with larger repositories; con+ER is flat because it never
+touches the repository.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, BENCH_WINDOW, run_figure
+
+from repro.baselines.pipelines import METHOD_CON_ER, METHOD_DD_ER, METHOD_TER_IDS
+from repro.experiments.figures import figure14_fscore_eta
+
+RATIOS = (0.1, 0.3, 0.5)
+METHODS = (METHOD_TER_IDS, METHOD_DD_ER, METHOD_CON_ER)
+
+
+def test_figure14_fscore_vs_eta(benchmark):
+    rows = run_figure(
+        benchmark, figure14_fscore_eta,
+        "Figure 14: F-score (%) vs repository size ratio eta",
+        dataset="citations", ratios=RATIOS, methods=METHODS,
+        scale=BENCH_SCALE, window_size=BENCH_WINDOW, seed=BENCH_SEED)
+    assert len(rows) == len(RATIOS) * len(METHODS)
+    con_scores = {row["f_score_pct"] for row in rows
+                  if row["method"] == METHOD_CON_ER}
+    # con+ER ignores the repository, so its score is unaffected by eta.
+    assert len(con_scores) == 1

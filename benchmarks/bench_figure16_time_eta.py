@@ -1,0 +1,23 @@
+"""Figure 16 — efficiency vs the repository size ratio η.
+
+Paper shape: the cost of the repository-based methods grows with η (more
+samples to check for imputation); con+ER is flat; TER-iDS stays cheapest.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, BENCH_WINDOW, run_figure
+
+from repro.baselines.pipelines import METHOD_CON_ER, METHOD_IJ_GER, METHOD_TER_IDS
+from repro.experiments.figures import figure16_time_eta
+
+RATIOS = (0.1, 0.2, 0.3, 0.4, 0.5)
+METHODS = (METHOD_TER_IDS, METHOD_IJ_GER, METHOD_CON_ER)
+
+
+def test_figure16_time_vs_eta(benchmark):
+    rows = run_figure(
+        benchmark, figure16_time_eta,
+        "Figure 16: wall clock time (sec/tuple) vs repository size ratio eta",
+        dataset="citations", ratios=RATIOS, methods=METHODS,
+        scale=BENCH_SCALE, window_size=BENCH_WINDOW, seed=BENCH_SEED)
+    assert len(rows) == len(RATIOS) * len(METHODS)
+    assert {row["repository_ratio"] for row in rows} == set(RATIOS)

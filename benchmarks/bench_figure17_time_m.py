@@ -1,0 +1,25 @@
+"""Figure 17 — efficiency vs the number m of missing attributes.
+
+Paper shape: the cost grows with m for every repository-based method (more
+imputed candidate instances); con+ER is insensitive to m; TER-iDS needs the
+least time.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, BENCH_WINDOW, run_figure
+
+from repro.baselines.pipelines import METHOD_CON_ER, METHOD_IJ_GER, METHOD_TER_IDS
+from repro.experiments.figures import figure17_time_m
+
+MISSING_COUNTS = (1, 2, 3)
+METHODS = (METHOD_TER_IDS, METHOD_IJ_GER, METHOD_CON_ER)
+
+
+def test_figure17_time_vs_missing_attributes(benchmark):
+    rows = run_figure(
+        benchmark, figure17_time_m,
+        "Figure 17: wall clock time (sec/tuple) vs number m of missing attributes",
+        dataset="citations", missing_attribute_counts=MISSING_COUNTS,
+        methods=METHODS, scale=BENCH_SCALE, window_size=BENCH_WINDOW,
+        seed=BENCH_SEED)
+    assert len(rows) == len(MISSING_COUNTS) * len(METHODS)
+    assert {row["missing_attributes"] for row in rows} == set(MISSING_COUNTS)

@@ -1,0 +1,31 @@
+"""Figure 4 — pruning power of the four TER-iDS pruning strategies.
+
+The paper reports that the strategies together prune 98.32%-99.43% of the
+candidate tuple pairs, with topic-keyword pruning removing the bulk.  At the
+bench's reduced scale the totals are lower (smaller windows mean a larger
+share of genuinely matching pairs), but the shape — topic keyword pruning
+dominant, probability-bound pruning smallest — is preserved.
+"""
+
+from bench_utils import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_WINDOW,
+    FULL_DATASETS,
+    run_figure,
+)
+
+from repro.experiments.figures import figure4_pruning_power
+
+
+def test_figure4_pruning_power(benchmark):
+    rows = run_figure(
+        benchmark, figure4_pruning_power,
+        "Figure 4: pruning power per strategy (percent of candidate pairs)",
+        datasets=FULL_DATASETS, scale=BENCH_SCALE, window_size=BENCH_WINDOW,
+        seed=BENCH_SEED)
+    assert len(rows) == len(FULL_DATASETS)
+    for row in rows:
+        assert 0 <= row["total_pruned_pct"] <= 100
+        # Topic keyword pruning removes the largest share (paper's shape).
+        assert row["topic_keyword_pct"] >= row["probability_ub_pct"]

@@ -1,0 +1,37 @@
+"""Figure 5(b) — per-tuple wall-clock time of each method per dataset.
+
+Paper shape: TER-iDS is fastest, Ij+GER second, con+ER third; the index-free
+CDD+ER / DD+ER / er+ER baselines are orders of magnitude slower.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, BENCH_WINDOW, run_figure
+
+from repro.baselines.pipelines import (
+    METHOD_CDD_ER,
+    METHOD_CON_ER,
+    METHOD_DD_ER,
+    METHOD_IJ_GER,
+    METHOD_TER_IDS,
+)
+from repro.experiments.figures import figure5b_wall_clock
+
+DATASETS = ("citations", "anime", "bikes")
+METHODS = (METHOD_TER_IDS, METHOD_IJ_GER, METHOD_CDD_ER, METHOD_DD_ER,
+           METHOD_CON_ER)
+
+
+def test_figure5b_wall_clock(benchmark):
+    rows = run_figure(
+        benchmark, figure5b_wall_clock,
+        "Figure 5(b): wall clock time (sec/tuple) vs real data sets",
+        datasets=DATASETS, methods=METHODS, scale=BENCH_SCALE,
+        window_size=BENCH_WINDOW, seed=BENCH_SEED)
+    assert len(rows) == len(DATASETS) * len(METHODS)
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["method"]] = (
+            row["seconds_per_tuple"])
+    # Shape check: the index-joined TER-iDS beats the index-free DD+ER
+    # baseline (the paper's slowest method) on every dataset.
+    for dataset, times in by_dataset.items():
+        assert times[METHOD_TER_IDS] <= times[METHOD_DD_ER], dataset

@@ -1,0 +1,33 @@
+"""Figure 6 — break-up of the TER-iDS per-tuple cost.
+
+Paper shape: the online ER step dominates on most datasets (quadratic ER
+nature); datasets with large repositories spend relatively more time on CDD
+selection / imputation, and EBooks is the most expensive dataset overall
+because of its long ``description`` attribute.
+"""
+
+from bench_utils import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_WINDOW,
+    FULL_DATASETS,
+    run_figure,
+)
+
+from repro.experiments.figures import figure6_breakup_cost
+
+
+def test_figure6_breakup_cost(benchmark):
+    rows = run_figure(
+        benchmark, figure6_breakup_cost,
+        "Figure 6: break-up cost of TER-iDS (seconds per tuple, by stage)",
+        datasets=FULL_DATASETS, scale=BENCH_SCALE, window_size=BENCH_WINDOW,
+        seed=BENCH_SEED)
+    assert len(rows) == len(FULL_DATASETS)
+    for row in rows:
+        assert row["cdd_selection_sec"] >= 0
+        assert row["imputation_sec"] >= 0
+        assert row["er_sec"] > 0
+        total = (row["cdd_selection_sec"] + row["imputation_sec"]
+                 + row["er_sec"])
+        assert total <= row["total_sec_per_tuple"] * 1.2 + 1e-6

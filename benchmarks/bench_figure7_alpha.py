@@ -1,0 +1,25 @@
+"""Figure 7 — efficiency vs the probabilistic threshold α.
+
+Paper shape: the cost of TER-iDS decreases (or stays flat) as α grows,
+because fewer candidate pairs survive the probability threshold; TER-iDS is
+the cheapest method at every α.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, BENCH_WINDOW, run_figure
+
+from repro.baselines.pipelines import METHOD_CON_ER, METHOD_IJ_GER, METHOD_TER_IDS
+from repro.experiments.figures import figure7_alpha
+
+ALPHAS = (0.1, 0.2, 0.5, 0.8, 0.9)
+METHODS = (METHOD_TER_IDS, METHOD_IJ_GER, METHOD_CON_ER)
+
+
+def test_figure7_alpha(benchmark):
+    rows = run_figure(
+        benchmark, figure7_alpha,
+        "Figure 7: wall clock time (sec/tuple) vs probabilistic threshold alpha",
+        dataset="citations", alphas=ALPHAS, methods=METHODS,
+        scale=BENCH_SCALE, window_size=BENCH_WINDOW, seed=BENCH_SEED)
+    assert len(rows) == len(ALPHAS) * len(METHODS)
+    assert {row["alpha"] for row in rows} == set(ALPHAS)
+    assert all(row["seconds_per_tuple"] > 0 for row in rows)

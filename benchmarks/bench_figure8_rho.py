@@ -1,0 +1,23 @@
+"""Figure 8 — efficiency vs the similarity-threshold ratio ρ = γ/d.
+
+Paper shape: larger ρ (stricter similarity threshold) yields fewer candidate
+ER pairs and therefore a smoothly decreasing cost; TER-iDS remains cheapest.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, BENCH_WINDOW, run_figure
+
+from repro.baselines.pipelines import METHOD_CON_ER, METHOD_IJ_GER, METHOD_TER_IDS
+from repro.experiments.figures import figure8_rho
+
+RHOS = (0.3, 0.4, 0.5, 0.6, 0.7)
+METHODS = (METHOD_TER_IDS, METHOD_IJ_GER, METHOD_CON_ER)
+
+
+def test_figure8_rho(benchmark):
+    rows = run_figure(
+        benchmark, figure8_rho,
+        "Figure 8: wall clock time (sec/tuple) vs similarity ratio rho",
+        dataset="citations", rhos=RHOS, methods=METHODS,
+        scale=BENCH_SCALE, window_size=BENCH_WINDOW, seed=BENCH_SEED)
+    assert len(rows) == len(RHOS) * len(METHODS)
+    assert {row["rho"] for row in rows} == set(RHOS)

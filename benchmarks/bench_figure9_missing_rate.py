@@ -1,0 +1,27 @@
+"""Figure 9 — efficiency vs the missing rate ξ of incomplete tuples.
+
+Paper shape: the cost of every method grows with ξ (more tuples to impute);
+TER-iDS stays the cheapest across the whole sweep.
+"""
+
+from bench_utils import BENCH_SCALE, BENCH_SEED, BENCH_WINDOW, run_figure
+
+from repro.baselines.pipelines import METHOD_CON_ER, METHOD_IJ_GER, METHOD_TER_IDS
+from repro.experiments.figures import figure9_missing_rate
+
+RATES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.8)
+METHODS = (METHOD_TER_IDS, METHOD_IJ_GER, METHOD_CON_ER)
+
+
+def test_figure9_missing_rate(benchmark):
+    rows = run_figure(
+        benchmark, figure9_missing_rate,
+        "Figure 9: wall clock time (sec/tuple) vs missing rate xi",
+        dataset="citations", rates=RATES, methods=METHODS,
+        scale=BENCH_SCALE, window_size=BENCH_WINDOW, seed=BENCH_SEED)
+    assert len(rows) == len(RATES) * len(METHODS)
+    ter_rows = sorted((row["missing_rate"], row["seconds_per_tuple"])
+                      for row in rows if row["method"] == METHOD_TER_IDS)
+    # Trend check: the highest missing rate should not be cheaper than the
+    # lowest one for TER-iDS (more imputation work).
+    assert ter_rows[-1][1] >= ter_rows[0][1] * 0.5

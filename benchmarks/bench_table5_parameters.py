@@ -1,0 +1,14 @@
+"""Table 5 — the parameter settings used throughout the evaluation."""
+
+from bench_utils import run_figure
+
+from repro.experiments.figures import table5_parameter_settings
+
+
+def test_table5_parameter_settings(benchmark):
+    rows = run_figure(benchmark, table5_parameter_settings,
+                      "Table 5: parameter settings (bench-scale grid)")
+    assert len(rows) == 6
+    parameters = {row["parameter"] for row in rows}
+    assert any("alpha" in parameter for parameter in parameters)
+    assert any("missing rate" in parameter for parameter in parameters)

@@ -1,0 +1,88 @@
+"""Streaming product de-duplication across two e-commerce crawls.
+
+The introduction of the paper motivates TER-iDS with a shopping scenario: a
+customer monitors crawled product listings from several e-commerce sites and
+wants groups of the *latest* listings that describe the same product, for a
+product type (topic) they care about.  Listings are crawled continuously and
+extraction is lossy, so some attributes are missing.
+
+This example uses the synthetic ``bikes`` dataset profile (two bike-selling
+sites), picks the ``sport`` and ``commuter`` topics as the customer's
+interest, and compares TER-iDS with the stream-only ``con+ER`` baseline —
+showing both the answer quality and the maintained, windowed nature of the
+result set.
+
+Run with::
+
+    python examples/product_stream_dedup.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    METHOD_CON_ER,
+    METHOD_TER_IDS,
+    TERiDSConfig,
+    TERiDSEngine,
+    build_baseline,
+    evaluate_matches,
+    generate_dataset,
+)
+
+
+def main() -> None:
+    workload = generate_dataset("bikes", missing_rate=0.4, scale=0.5,
+                                keyword_count=2, seed=9)
+    print(f"site A listings   : {len(workload.stream_a)}")
+    print(f"site B listings   : {len(workload.stream_b)}")
+    print(f"catalogue (repo)  : {len(workload.repository)} complete records")
+    print(f"topics of interest: {sorted(workload.keywords)}")
+    print(f"true duplicates   : {len(workload.ground_truth)} (topic-related)\n")
+
+    config = TERiDSConfig(
+        schema=workload.schema,
+        keywords=workload.keywords,
+        alpha=0.5,
+        similarity_ratio=0.5,
+        window_size=30,          # only the most recent listings matter
+    )
+
+    # --- TER-iDS -----------------------------------------------------------
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+    report = engine.run(workload.interleaved_records())
+    accuracy = evaluate_matches(report.matches, workload.ground_truth)
+    print("TER-iDS")
+    print(f"  duplicates found : {len(report.matches)}")
+    print(f"  F-score          : {accuracy.f_score:.1%}")
+    print(f"  sec per listing  : {report.mean_seconds_per_timestamp:.5f}")
+    print(f"  pairs pruned     : {report.pruning_stats.pruning_power()['total']:.1%}")
+    print(f"  live result set  : {len(engine.current_matches())} pairs "
+          f"(only unexpired listings)")
+
+    # --- con+ER baseline (no repository, no topic-aware pruning) -----------
+    baseline = build_baseline(METHOD_CON_ER, workload.repository, config)
+    baseline_report = baseline.run(workload.interleaved_records())
+    baseline_accuracy = evaluate_matches(baseline_report.matches,
+                                         workload.ground_truth)
+    print("\ncon+ER baseline (stream-neighbour imputation, nested-loop ER)")
+    print(f"  duplicates found : {len(baseline_report.matches)}")
+    print(f"  F-score          : {baseline_accuracy.f_score:.1%}")
+    print(f"  sec per listing  : {baseline_report.mean_seconds_per_timestamp:.5f}")
+
+    print("\nsample duplicate groups reported by TER-iDS:")
+    for pair in report.matches[:5]:
+        print(f"  {pair.left_source}/{pair.left_rid} <-> "
+              f"{pair.right_source}/{pair.right_rid} (p={pair.probability:.2f})")
+
+    winner = METHOD_TER_IDS if accuracy.f_score >= baseline_accuracy.f_score \
+        else METHOD_CON_ER
+    print(f"\nhigher topic-aware F-score: {winner}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,391 @@
+"""The four TER-iDS pruning strategies (Section 4, Theorems 4.1–4.4).
+
+The strategies are applied in the paper's order:
+
+1. **Topic keyword pruning** (Theorem 4.1): a pair is pruned when neither
+   imputed tuple can possibly contain a query keyword.
+2. **Similarity upper-bound pruning** (Theorem 4.2): a pair is pruned when an
+   upper bound of the tuple similarity is at most ``γ``.  Two bounds are
+   available — via token-set sizes (Lemma 4.1) and via a pivot tuple and the
+   triangle inequality (Lemma 4.2) — and the tighter (smaller) one is used.
+3. **Probability upper-bound pruning** (Theorem 4.3 / Lemma 4.3): a
+   Paley–Zygmund-based upper bound of the TER-iDS probability is compared
+   against ``α``.
+4. **Instance-pair-level pruning** (Theorem 4.4): while computing the exact
+   probability, the unexplored instance-pair mass is overestimated as
+   matching; once even that optimistic total cannot exceed ``α`` the pair is
+   abandoned.
+
+All bounds are evaluated on a per-record :class:`RecordSynopsis` — the
+pivot-distance intervals, expectations, token-size bounds and keyword flags
+that the ER-grid stores as aggregates (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.matching import ter_ids_probability_with_cutoff
+from repro.core.similarity import (
+    attribute_similarity_upper_bound,
+    text_distance,
+    tokenize,
+)
+from repro.core.tuples import ImputedRecord, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - only needed for type checkers
+    from repro.indexes.pivots import PivotTable
+
+#: Names of the pruning strategies, in application order (used for the
+#: Figure 4 pruning-power report).
+PRUNING_ORDER = (
+    "topic_keyword",
+    "similarity_upper_bound",
+    "probability_upper_bound",
+    "instance_pair_level",
+)
+
+
+@dataclass
+class PruningStats:
+    """Counters of how many candidate pairs each strategy eliminated."""
+
+    pairs_considered: int = 0
+    pruned_by_topic: int = 0
+    pruned_by_similarity: int = 0
+    pruned_by_probability: int = 0
+    pruned_by_instance: int = 0
+    refined_matches: int = 0
+    refined_non_matches: int = 0
+
+    @property
+    def total_pruned(self) -> int:
+        return (self.pruned_by_topic + self.pruned_by_similarity
+                + self.pruned_by_probability + self.pruned_by_instance)
+
+    def pruning_power(self) -> Dict[str, float]:
+        """Per-strategy pruned fraction of all considered pairs (Figure 4)."""
+        total = max(1, self.pairs_considered)
+        return {
+            "topic_keyword": self.pruned_by_topic / total,
+            "similarity_upper_bound": self.pruned_by_similarity / total,
+            "probability_upper_bound": self.pruned_by_probability / total,
+            "instance_pair_level": self.pruned_by_instance / total,
+            "total": self.total_pruned / total,
+        }
+
+    def merge(self, other: "PruningStats") -> None:
+        self.pairs_considered += other.pairs_considered
+        self.pruned_by_topic += other.pruned_by_topic
+        self.pruned_by_similarity += other.pruned_by_similarity
+        self.pruned_by_probability += other.pruned_by_probability
+        self.pruned_by_instance += other.pruned_by_instance
+        self.refined_matches += other.refined_matches
+        self.refined_non_matches += other.refined_non_matches
+
+
+@dataclass
+class RecordSynopsis:
+    """Pre-computed aggregates of one imputed tuple (ER-grid per-tuple info).
+
+    Attributes
+    ----------
+    record:
+        The imputed tuple the synopsis describes.
+    distance_bounds:
+        ``distance_bounds[attribute][pivot_index] = (lb, ub)`` — bounds of the
+        Jaccard distance from the tuple's possible values to each pivot.
+    distance_expectations:
+        ``distance_expectations[attribute][pivot_index]`` — expected distance
+        under the candidate-value distribution (used by Lemma 4.3).
+    token_size_bounds:
+        ``token_size_bounds[attribute] = (|T^-|, |T^+|)``.
+    may_have_keyword / must_have_keyword:
+        Keyword flags for the topic predicate over *any* / *all* instances.
+    """
+
+    record: ImputedRecord
+    distance_bounds: Dict[str, List[Tuple[float, float]]]
+    distance_expectations: Dict[str, List[float]]
+    token_size_bounds: Dict[str, Tuple[int, int]]
+    may_have_keyword: bool
+    must_have_keyword: bool
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self.record.schema
+
+    @property
+    def rid(self) -> str:
+        """Identity passthrough so windows/grids can key on the synopsis."""
+        return self.record.rid
+
+    @property
+    def source(self) -> str:
+        """Identity passthrough so windows/grids can key on the synopsis."""
+        return self.record.source
+
+    def main_point(self) -> List[float]:
+        """Expected main-pivot coordinates (one per attribute)."""
+        return [self.distance_expectations[name][0] for name in self.schema]
+
+    def main_interval(self, attribute: str) -> Tuple[float, float]:
+        """Main-pivot distance bounds of one attribute."""
+        return self.distance_bounds[attribute][0]
+
+    def coordinate_rectangle(self) -> List[Tuple[float, float]]:
+        """Per-attribute main-pivot distance intervals (the grid footprint)."""
+        return [self.distance_bounds[name][0] for name in self.schema]
+
+    def total_distance_bounds(self, pivot_index: int = 0) -> Tuple[float, float]:
+        """``(lb_X, ub_X)`` of the tuple-to-pivot distance summed over attributes."""
+        low = 0.0
+        high = 0.0
+        for name in self.schema:
+            bounds = self.distance_bounds[name]
+            index = min(pivot_index, len(bounds) - 1)
+            lb, ub = bounds[index]
+            low += lb
+            high += ub
+        return low, high
+
+    def expected_total_distance(self, pivot_index: int = 0) -> float:
+        """``E(X)`` of Lemma 4.3: expected summed distance to the pivot."""
+        total = 0.0
+        for name in self.schema:
+            expectations = self.distance_expectations[name]
+            index = min(pivot_index, len(expectations) - 1)
+            total += expectations[index]
+        return total
+
+    @classmethod
+    def build(cls, record: ImputedRecord, pivots: "PivotTable",
+              keywords: FrozenSet[str]) -> "RecordSynopsis":
+        """Compute the synopsis of one imputed tuple against the pivot table."""
+        distance_bounds: Dict[str, List[Tuple[float, float]]] = {}
+        distance_expectations: Dict[str, List[float]] = {}
+        token_size_bounds: Dict[str, Tuple[int, int]] = {}
+
+        for attribute in record.schema:
+            possible = record.possible_values(attribute)
+            pivot_values = pivots.all_pivots(attribute)
+            bounds: List[Tuple[float, float]] = []
+            expectations: List[float] = []
+            for pivot_value in pivot_values:
+                low = 1.0
+                high = 0.0
+                expected = 0.0
+                mass = 0.0
+                for value, probability in possible.items():
+                    distance = text_distance(value, pivot_value) if value else 1.0
+                    low = min(low, distance)
+                    high = max(high, distance)
+                    expected += probability * distance
+                    mass += probability
+                if mass > 0 and mass < 1.0:
+                    # Unretained probability mass is treated pessimistically
+                    # (distance 1.0), keeping the expectation an upper-style
+                    # estimate without breaking the bounds.
+                    expected += (1.0 - mass) * 1.0
+                bounds.append((low, high))
+                expectations.append(expected)
+            distance_bounds[attribute] = bounds
+            distance_expectations[attribute] = expectations
+            sizes = [len(tokenize(value)) for value in possible]
+            token_size_bounds[attribute] = (min(sizes), max(sizes))
+
+        return cls(
+            record=record,
+            distance_bounds=distance_bounds,
+            distance_expectations=distance_expectations,
+            token_size_bounds=token_size_bounds,
+            may_have_keyword=record.may_contain_keyword(keywords),
+            must_have_keyword=record.must_contain_keyword(keywords) if keywords else False,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.1 — topic keyword pruning
+# ---------------------------------------------------------------------------
+def topic_keyword_prune(left: RecordSynopsis, right: RecordSynopsis,
+                        keywords: FrozenSet[str]) -> bool:
+    """True when the pair can be pruned because no instance contains a keyword."""
+    if not keywords:
+        return False
+    return not (left.may_have_keyword or right.may_have_keyword)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.1 — similarity upper bound via token-set sizes
+# ---------------------------------------------------------------------------
+def similarity_upper_bound_by_size(left: RecordSynopsis,
+                                   right: RecordSynopsis) -> float:
+    """Sum over attributes of the token-size similarity upper bounds."""
+    total = 0.0
+    for attribute in left.schema:
+        total += attribute_similarity_upper_bound(
+            left.token_size_bounds[attribute], right.token_size_bounds[attribute])
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.2 — similarity upper bound via a pivot tuple
+# ---------------------------------------------------------------------------
+def min_attribute_distance(left_bounds: Tuple[float, float],
+                           right_bounds: Tuple[float, float]) -> float:
+    """``min_dist`` of Lemma 4.2 from per-attribute pivot-distance bounds."""
+    left_low, left_high = left_bounds
+    right_low, right_high = right_bounds
+    if left_low > right_high:
+        return left_low - right_high
+    if right_low > left_high:
+        return right_low - left_high
+    return 0.0
+
+
+def similarity_upper_bound_by_pivot(left: RecordSynopsis, right: RecordSynopsis,
+                                    pivot_index: int = 0) -> float:
+    """``d - Σ_k min_dist(r_i[A_k], r_j[A_k])`` (Lemma 4.2)."""
+    schema = left.schema
+    total_min_distance = 0.0
+    for attribute in schema:
+        left_bounds = left.distance_bounds[attribute]
+        right_bounds = right.distance_bounds[attribute]
+        index = min(pivot_index, len(left_bounds) - 1, len(right_bounds) - 1)
+        total_min_distance += min_attribute_distance(left_bounds[index],
+                                                     right_bounds[index])
+    return len(schema) - total_min_distance
+
+
+def similarity_upper_bound(left: RecordSynopsis, right: RecordSynopsis) -> float:
+    """The tighter of the token-size and pivot-based similarity upper bounds.
+
+    All auxiliary pivots are consulted; each yields a valid bound, so the
+    minimum over pivots (and over the size bound) is still a valid bound.
+    """
+    best = similarity_upper_bound_by_size(left, right)
+    pivot_counts = min(
+        min(len(bounds) for bounds in left.distance_bounds.values()),
+        min(len(bounds) for bounds in right.distance_bounds.values()),
+    )
+    for pivot_index in range(pivot_counts):
+        best = min(best, similarity_upper_bound_by_pivot(left, right, pivot_index))
+    return best
+
+
+def similarity_prune(left: RecordSynopsis, right: RecordSynopsis,
+                     gamma: float) -> bool:
+    """Theorem 4.2: prune when the similarity upper bound is at most ``γ``."""
+    return similarity_upper_bound(left, right) <= gamma
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.3 / Theorem 4.3 — Paley–Zygmund probability upper bound
+# ---------------------------------------------------------------------------
+def probability_upper_bound(left: RecordSynopsis, right: RecordSynopsis,
+                            gamma: float, pivot_index: int = 0) -> float:
+    """Paley–Zygmund-based upper bound of the TER-iDS probability (Lemma 4.3)."""
+    dimensionality = len(left.schema)
+    margin = dimensionality - gamma
+
+    expectation_left = left.expected_total_distance(pivot_index)
+    expectation_right = right.expected_total_distance(pivot_index)
+    lb_left, ub_left = left.total_distance_bounds(pivot_index)
+    lb_right, ub_right = right.total_distance_bounds(pivot_index)
+
+    def bound(expect_far: float, expect_near: float,
+              ub_far: float, lb_near: float) -> Optional[float]:
+        gap = expect_far - expect_near
+        spread = ub_far - lb_near
+        if gap <= 0 or spread <= 0:
+            return None
+        theta = margin / gap
+        if not 0.0 <= theta <= 1.0:
+            return None
+        return 1.0 - (1.0 - theta) ** 2 * (gap / spread)
+
+    if lb_left >= ub_right:
+        value = bound(expectation_left, expectation_right, ub_left, lb_right)
+        if value is not None:
+            return max(0.0, min(1.0, value))
+    if lb_right >= ub_left:
+        value = bound(expectation_right, expectation_left, ub_right, lb_left)
+        if value is not None:
+            return max(0.0, min(1.0, value))
+    return 1.0
+
+
+def probability_prune(left: RecordSynopsis, right: RecordSynopsis,
+                      gamma: float, alpha: float) -> bool:
+    """Theorem 4.3: prune when the probability upper bound is at most ``α``."""
+    return probability_upper_bound(left, right, gamma) <= alpha
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.4 — instance-pair-level pruning (delegated to matching module)
+# ---------------------------------------------------------------------------
+def instance_level_verdict(left: RecordSynopsis, right: RecordSynopsis,
+                           keywords: FrozenSet[str], gamma: float,
+                           alpha: float) -> Tuple[float, bool, int]:
+    """Exact probability with Theorem 4.4 early termination."""
+    return ter_ids_probability_with_cutoff(left.record, right.record,
+                                           keywords, gamma, alpha)
+
+
+@dataclass
+class PruningPipeline:
+    """Applies the four strategies in order and records their pruning power."""
+
+    keywords: FrozenSet[str]
+    gamma: float
+    alpha: float
+    use_topic: bool = True
+    use_similarity: bool = True
+    use_probability: bool = True
+    use_instance: bool = True
+    stats: PruningStats = field(default_factory=PruningStats)
+
+    def evaluate_pair(self, left: RecordSynopsis,
+                      right: RecordSynopsis) -> Tuple[bool, float]:
+        """Decide whether a candidate pair is a TER-iDS answer.
+
+        Returns ``(is_match, probability_estimate)``.  The probability is
+        exact for pairs that reach the refinement step and a bound otherwise.
+        """
+        self.stats.pairs_considered += 1
+
+        if self.use_topic and topic_keyword_prune(left, right, self.keywords):
+            self.stats.pruned_by_topic += 1
+            return False, 0.0
+
+        if self.use_similarity and similarity_prune(left, right, self.gamma):
+            self.stats.pruned_by_similarity += 1
+            return False, 0.0
+
+        if self.use_probability and probability_prune(left, right, self.gamma,
+                                                      self.alpha):
+            self.stats.pruned_by_probability += 1
+            return False, 0.0
+
+        if self.use_instance:
+            probability, is_match, pairs_checked = instance_level_verdict(
+                left, right, self.keywords, self.gamma, self.alpha)
+            total_pairs = (len(left.record.instances())
+                           * len(right.record.instances()))
+            if not is_match and pairs_checked < total_pairs:
+                self.stats.pruned_by_instance += 1
+                return False, probability
+        else:
+            from repro.core.matching import ter_ids_probability
+
+            probability = ter_ids_probability(left.record, right.record,
+                                              self.keywords, self.gamma)
+            is_match = probability > self.alpha
+
+        if is_match:
+            self.stats.refined_matches += 1
+        else:
+            self.stats.refined_non_matches += 1
+        return is_match, probability

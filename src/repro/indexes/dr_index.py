@@ -1,0 +1,200 @@
+"""The DR-index ``I_R`` over the data repository (Section 5.1, Figure 3).
+
+Every repository sample ``s`` is converted into a ``d``-dimensional point
+whose ``x``-th coordinate is the Jaccard distance of ``s[A_x]`` to the main
+pivot of attribute ``A_x``.  The points are indexed in an aR-tree whose
+aggregates hold, per node,
+
+* a keyword/topic bit-vector (union of the keywords present below the node);
+* per-attribute intervals bounding the distances to the auxiliary pivots;
+* per-attribute intervals bounding the token-set sizes.
+
+At imputation time, given an incomplete tuple and a CDD rule, the index
+returns the samples that can possibly satisfy the rule's determinant
+constraints: by the triangle inequality a sample whose main-pivot coordinate
+differs from the record's by more than the rule's ``ε_max`` can never be
+within distance ``ε_max`` of the record, and a constant constraint pins the
+coordinate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.similarity import text_distance, tokenize
+from repro.core.tuples import Record, Schema
+from repro.imputation.cdd import (
+    CONSTRAINT_CONSTANT,
+    CONSTRAINT_INTERVAL,
+    CDDRule,
+)
+from repro.imputation.repository import DataRepository
+from repro.indexes.artree import Aggregator, ARTree, Rect
+from repro.indexes.pivots import PivotTable
+
+
+@dataclass(frozen=True)
+class DRAggregate:
+    """aR-tree aggregate of the DR-index.
+
+    ``keywords`` is the set of query-relevant keywords appearing below the
+    node (the paper's boolean vector ``V_e``); ``auxiliary_intervals`` maps
+    ``(attribute, pivot_index)`` to a distance interval; ``token_size_intervals``
+    maps attribute to a token-size interval.
+    """
+
+    keywords: FrozenSet[str]
+    auxiliary_intervals: Tuple[Tuple[Tuple[str, int], Tuple[float, float]], ...]
+    token_size_intervals: Tuple[Tuple[str, Tuple[int, int]], ...]
+
+
+def _merge_interval_maps(
+    left: Tuple[Tuple, ...], right: Tuple[Tuple, ...]
+) -> Tuple[Tuple, ...]:
+    merged: Dict = {}
+    for key, (low, high) in left:
+        merged[key] = (low, high)
+    for key, (low, high) in right:
+        if key in merged:
+            old_low, old_high = merged[key]
+            merged[key] = (min(old_low, low), max(old_high, high))
+        else:
+            merged[key] = (low, high)
+    return tuple(sorted(merged.items()))
+
+
+def _merge_dr_aggregates(left: DRAggregate, right: DRAggregate) -> DRAggregate:
+    return DRAggregate(
+        keywords=left.keywords | right.keywords,
+        auxiliary_intervals=_merge_interval_maps(left.auxiliary_intervals,
+                                                 right.auxiliary_intervals),
+        token_size_intervals=_merge_interval_maps(left.token_size_intervals,
+                                                  right.token_size_intervals),
+    )
+
+
+class DRIndex:
+    """aR-tree index over the converted repository samples."""
+
+    def __init__(self, repository: DataRepository, pivots: PivotTable,
+                 keywords: Iterable[str] = (), max_entries: int = 16) -> None:
+        self.repository = repository
+        self.pivots = pivots
+        self.schema: Schema = repository.schema
+        self.keywords = frozenset(keyword.lower() for keyword in keywords)
+        self.nodes_visited = 0
+        self._tree = ARTree(
+            dimensions=self.schema.dimensionality,
+            max_entries=max_entries,
+            aggregator=Aggregator(from_payload=self._sample_aggregate,
+                                  merge=_merge_dr_aggregates),
+        )
+        self._attribute_order = list(self.schema)
+        for sample in repository.samples:
+            self._tree.insert_point(self._sample_point(sample), sample)
+
+    # -- construction helpers ------------------------------------------------
+    def _sample_point(self, sample: Record) -> List[float]:
+        """Main-pivot coordinates of one repository sample."""
+        return [
+            text_distance(sample[attribute], self.pivots.main_pivot(attribute))
+            for attribute in self._attribute_order
+        ]
+
+    def _sample_aggregate(self, rect: Rect, sample: Record) -> DRAggregate:
+        present_keywords = frozenset(
+            keyword for keyword in self.keywords
+            if keyword in sample.all_tokens(self.schema)
+        )
+        auxiliary: List[Tuple[Tuple[str, int], Tuple[float, float]]] = []
+        sizes: List[Tuple[str, Tuple[int, int]]] = []
+        for attribute in self._attribute_order:
+            value = sample[attribute]
+            assert value is not None
+            for index, pivot_value in enumerate(
+                    self.pivots.auxiliary_pivots(attribute), start=1):
+                distance = text_distance(value, pivot_value)
+                auxiliary.append(((attribute, index), (distance, distance)))
+            size = len(tokenize(value))
+            sizes.append((attribute, (size, size)))
+        return DRAggregate(keywords=present_keywords,
+                           auxiliary_intervals=tuple(auxiliary),
+                           token_size_intervals=tuple(sizes))
+
+    # -- basic info -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def height(self) -> int:
+        return self._tree.height()
+
+    def root_keywords(self) -> FrozenSet[str]:
+        """Keywords present anywhere in the repository (root aggregate)."""
+        aggregate = self._tree.root_aggregate
+        return aggregate.keywords if aggregate else frozenset()
+
+    # -- dynamic maintenance (Section 5.5) ----------------------------------------
+    def insert_sample(self, sample: Record) -> None:
+        """Add one new complete sample to both the repository and the index."""
+        self.repository.add_sample(sample)
+        self._tree.insert_point(self._sample_point(sample), sample)
+
+    # -- queries --------------------------------------------------------------------
+    def query_rect_for_rule(self, record: Record,
+                            rule: CDDRule) -> Optional[Rect]:
+        """The converted-space query rectangle implied by a rule and a record.
+
+        Returns ``None`` when the rule cannot be evaluated on the record
+        (a determinant value is missing).
+        """
+        intervals: List[Tuple[float, float]] = []
+        for attribute in self._attribute_order:
+            constraint = rule.constraint_for(attribute)
+            if constraint is None or constraint.kind not in (
+                    CONSTRAINT_CONSTANT, CONSTRAINT_INTERVAL):
+                intervals.append((0.0, 1.0))
+                continue
+            value = record[attribute]
+            if value is None:
+                return None
+            coordinate = text_distance(value, self.pivots.main_pivot(attribute))
+            if constraint.kind == CONSTRAINT_CONSTANT:
+                # The sample must equal the constant, whose coordinate equals
+                # the record's coordinate (the record matches the constant).
+                intervals.append((max(0.0, coordinate - 1e-9),
+                                  min(1.0, coordinate + 1e-9)))
+            else:
+                _, epsilon_max = constraint.interval
+                intervals.append((max(0.0, coordinate - epsilon_max),
+                                  min(1.0, coordinate + epsilon_max)))
+        return Rect.from_intervals(intervals)
+
+    def candidate_samples(self, record: Record, rule: CDDRule) -> List[Record]:
+        """Repository samples that may satisfy the rule w.r.t. ``record``.
+
+        The returned superset still has to be verified exactly with
+        :meth:`CDDRule.matches_sample`; the index only guarantees no false
+        dismissals (triangle inequality).
+        """
+        query = self.query_rect_for_rule(record, rule)
+        if query is None:
+            return []
+        results, visited = self._tree.traverse(
+            node_filter=lambda rect, aggregate: rect.intersects(query),
+            entry_filter=lambda entry: entry.rect.intersects(query),
+        )
+        self.nodes_visited += visited
+        return [entry.payload for entry in results]
+
+    def make_retriever(self):
+        """A ``SampleRetriever`` hook for :class:`~repro.imputation.imputer.CDDImputer`."""
+        def retriever(record: Record, rule: CDDRule) -> Sequence[Record]:
+            return self.candidate_samples(record, rule)
+        return retriever
+
+    def range_query(self, intervals: Sequence[Tuple[float, float]]) -> List[Record]:
+        """Raw converted-space range query (used by tests and the index join)."""
+        entries = self._tree.range_search(Rect.from_intervals(intervals))
+        return [entry.payload for entry in entries]

@@ -1,0 +1,239 @@
+"""The ER-grid data synopsis ``G_ER`` over the sliding windows (Section 5.2).
+
+The grid partitions the pivot-converted space ``[0, 1]^d`` into equal-size
+cells.  Every in-window imputed tuple is registered in all cells its
+coordinate rectangle (the per-attribute main-pivot distance intervals of its
+possible values) intersects.  Cells maintain aggregates — a keyword flag,
+per-attribute distance intervals and token-size intervals — which allow the
+engine to discard whole cells with the topic and similarity bounds before
+looking at individual tuples.
+
+The grid is maintained incrementally: expired tuples are evicted and their
+cells' aggregates recomputed; new tuples are inserted together with their
+pre-computed :class:`~repro.core.pruning.RecordSynopsis`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.pruning import RecordSynopsis, min_attribute_distance
+from repro.core.tuples import ImputedRecord, Schema
+
+
+@dataclass
+class GridCell:
+    """One cell of the ER-grid with its aggregates."""
+
+    coordinates: Tuple[int, ...]
+    entries: Dict[Tuple[str, str], RecordSynopsis] = field(default_factory=dict)
+    may_have_keyword: bool = False
+    distance_intervals: Optional[List[Tuple[float, float]]] = None
+    token_size_intervals: Optional[List[Tuple[int, int]]] = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def recompute(self, schema: Schema) -> None:
+        """Refresh the cell aggregates from its current entries."""
+        if not self.entries:
+            self.may_have_keyword = False
+            self.distance_intervals = None
+            self.token_size_intervals = None
+            return
+        self.may_have_keyword = any(entry.may_have_keyword
+                                    for entry in self.entries.values())
+        distance: List[Tuple[float, float]] = []
+        sizes: List[Tuple[int, int]] = []
+        for attribute in schema:
+            lows = []
+            highs = []
+            size_lows = []
+            size_highs = []
+            for entry in self.entries.values():
+                low, high = entry.main_interval(attribute)
+                lows.append(low)
+                highs.append(high)
+                size_low, size_high = entry.token_size_bounds[attribute]
+                size_lows.append(size_low)
+                size_highs.append(size_high)
+            distance.append((min(lows), max(highs)))
+            sizes.append((min(size_lows), max(size_highs)))
+        self.distance_intervals = distance
+        self.token_size_intervals = sizes
+
+    def add(self, synopsis: RecordSynopsis, schema: Schema) -> None:
+        """Register one tuple synopsis and update the aggregates incrementally."""
+        key = (synopsis.record.rid, synopsis.record.source)
+        self.entries[key] = synopsis
+        self.may_have_keyword = self.may_have_keyword or synopsis.may_have_keyword
+        new_distance: List[Tuple[float, float]] = []
+        new_sizes: List[Tuple[int, int]] = []
+        for index, attribute in enumerate(schema):
+            low, high = synopsis.main_interval(attribute)
+            size_low, size_high = synopsis.token_size_bounds[attribute]
+            if self.distance_intervals is None:
+                new_distance.append((low, high))
+                new_sizes.append((size_low, size_high))
+            else:
+                old_low, old_high = self.distance_intervals[index]
+                new_distance.append((min(old_low, low), max(old_high, high)))
+                old_size_low, old_size_high = self.token_size_intervals[index]  # type: ignore[index]
+                new_sizes.append((min(old_size_low, size_low),
+                                  max(old_size_high, size_high)))
+        self.distance_intervals = new_distance
+        self.token_size_intervals = new_sizes
+
+    def remove(self, rid: str, source: str, schema: Schema) -> bool:
+        """Evict one tuple; aggregates are recomputed from scratch."""
+        removed = self.entries.pop((rid, source), None)
+        if removed is None:
+            return False
+        self.recompute(schema)
+        return True
+
+
+class ERGrid:
+    """The ER-grid synopsis over the in-window imputed tuples of all streams."""
+
+    def __init__(self, schema: Schema, cells_per_dim: int = 5) -> None:
+        if cells_per_dim < 1:
+            raise ValueError("cells_per_dim must be >= 1")
+        self.schema = schema
+        self.cells_per_dim = cells_per_dim
+        self._cells: Dict[Tuple[int, ...], GridCell] = {}
+        self._record_cells: Dict[Tuple[str, str], List[Tuple[int, ...]]] = {}
+        self._synopses: Dict[Tuple[str, str], RecordSynopsis] = {}
+        self.cells_examined = 0
+        self.tuples_examined = 0
+
+    # -- coordinate helpers ------------------------------------------------------
+    def _bucket(self, value: float) -> int:
+        """Cell index of one coordinate value."""
+        clamped = min(max(value, 0.0), 1.0)
+        return min(self.cells_per_dim - 1, int(clamped * self.cells_per_dim))
+
+    def _bucket_range(self, low: float, high: float) -> range:
+        return range(self._bucket(low), self._bucket(high) + 1)
+
+    def _cells_for_rectangle(
+        self, rectangle: Sequence[Tuple[float, float]]
+    ) -> Iterable[Tuple[int, ...]]:
+        ranges = [self._bucket_range(low, high) for low, high in rectangle]
+        return itertools.product(*ranges)
+
+    def cell_bounds(self, coordinates: Tuple[int, ...]) -> List[Tuple[float, float]]:
+        """Coordinate-space bounds of one cell."""
+        width = 1.0 / self.cells_per_dim
+        return [(index * width, (index + 1) * width) for index in coordinates]
+
+    # -- maintenance ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._synopses)
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def contains(self, rid: str, source: str) -> bool:
+        return (rid, source) in self._synopses
+
+    def get_synopsis(self, rid: str, source: str) -> Optional[RecordSynopsis]:
+        return self._synopses.get((rid, source))
+
+    def insert(self, synopsis: RecordSynopsis) -> None:
+        """Insert one imputed tuple (Algorithm 2, lines 11–13)."""
+        key = (synopsis.record.rid, synopsis.record.source)
+        if key in self._synopses:
+            self.remove(*key)
+        rectangle = synopsis.coordinate_rectangle()
+        cell_keys: List[Tuple[int, ...]] = []
+        for coordinates in self._cells_for_rectangle(rectangle):
+            cell = self._cells.get(coordinates)
+            if cell is None:
+                cell = GridCell(coordinates=coordinates)
+                self._cells[coordinates] = cell
+            cell.add(synopsis, self.schema)
+            cell_keys.append(coordinates)
+        self._record_cells[key] = cell_keys
+        self._synopses[key] = synopsis
+
+    def remove(self, rid: str, source: str) -> bool:
+        """Evict one (expired) tuple (Algorithm 2, lines 2–7)."""
+        key = (rid, source)
+        cell_keys = self._record_cells.pop(key, None)
+        if cell_keys is None:
+            return False
+        for coordinates in cell_keys:
+            cell = self._cells.get(coordinates)
+            if cell is None:
+                continue
+            cell.remove(rid, source, self.schema)
+            if not cell.entries:
+                del self._cells[coordinates]
+        del self._synopses[key]
+        return True
+
+    def synopses(self) -> List[RecordSynopsis]:
+        """All in-window synopses (used by exhaustive baselines and tests)."""
+        return list(self._synopses.values())
+
+    # -- candidate retrieval -------------------------------------------------------
+    def _cell_min_distance(self, cell: GridCell,
+                           rectangle: Sequence[Tuple[float, float]]) -> float:
+        """Lower bound of Σ_k |X_k − Y_k| between the query tuple and the cell."""
+        if cell.distance_intervals is None:
+            return float("inf")
+        total = 0.0
+        for (query_low, query_high), (cell_low, cell_high) in zip(
+                rectangle, cell.distance_intervals):
+            total += min_attribute_distance((query_low, query_high),
+                                            (cell_low, cell_high))
+        return total
+
+    def candidate_synopses(
+        self,
+        query: RecordSynopsis,
+        gamma: float,
+        keywords: FrozenSet[str] = frozenset(),
+        exclude_source: Optional[str] = None,
+    ) -> List[RecordSynopsis]:
+        """Candidate matching tuples of ``query`` from the grid.
+
+        Cells are pruned with two aggregate tests before their tuples are
+        touched:
+
+        * **topic** — when a keyword set is given and the query tuple cannot
+          contain any keyword, cells with no keyword-bearing tuple are
+          skipped (cell-level Theorem 4.1);
+        * **similarity** — cells whose minimum converted-space L1 distance to
+          the query rectangle is at least ``d − γ`` cannot contain a tuple
+          with similarity above ``γ`` (cell-level Lemma 4.2).
+
+        ``exclude_source`` removes same-stream tuples (the problem statement
+        pairs tuples from two *different* streams).
+        """
+        rectangle = query.coordinate_rectangle()
+        margin = len(self.schema) - gamma
+        seen: Set[Tuple[str, str]] = set()
+        results: List[RecordSynopsis] = []
+        for cell in self._cells.values():
+            self.cells_examined += 1
+            if keywords and not query.may_have_keyword and not cell.may_have_keyword:
+                continue
+            if self._cell_min_distance(cell, rectangle) >= margin:
+                continue
+            for key, synopsis in cell.entries.items():
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.tuples_examined += 1
+                if exclude_source is not None and synopsis.record.source == exclude_source:
+                    continue
+                if (synopsis.record.rid == query.record.rid
+                        and synopsis.record.source == query.record.source):
+                    continue
+                results.append(synopsis)
+        return results

@@ -1,0 +1,188 @@
+"""Unit tests for the aggregate R-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.indexes.artree import Aggregator, ARTree, Rect
+
+
+class TestRect:
+    def test_point_rect(self):
+        rect = Rect.from_point([0.2, 0.4])
+        assert rect.mins == (0.2, 0.4)
+        assert rect.maxs == (0.2, 0.4)
+        assert rect.dimensions == 2
+
+    def test_from_intervals(self):
+        rect = Rect.from_intervals([(0.1, 0.3), (0.2, 0.6)])
+        assert rect.mins == (0.1, 0.2)
+        assert rect.maxs == (0.3, 0.6)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Rect(mins=(0.5,), maxs=(0.1,))
+        with pytest.raises(ValueError):
+            Rect(mins=(0.1, 0.2), maxs=(0.3,))
+
+    def test_union(self):
+        union = Rect.from_point([0.1, 0.1]).union(Rect.from_point([0.5, 0.3]))
+        assert union.mins == (0.1, 0.1)
+        assert union.maxs == (0.5, 0.3)
+
+    def test_intersects(self):
+        left = Rect.from_intervals([(0.0, 0.5), (0.0, 0.5)])
+        right = Rect.from_intervals([(0.4, 0.9), (0.4, 0.9)])
+        apart = Rect.from_intervals([(0.8, 0.9), (0.8, 0.9)])
+        assert left.intersects(right)
+        assert right.intersects(left)
+        assert not left.intersects(apart)
+
+    def test_boundary_touch_counts_as_intersection(self):
+        left = Rect.from_intervals([(0.0, 0.5)])
+        right = Rect.from_intervals([(0.5, 1.0)])
+        assert left.intersects(right)
+
+    def test_contains_point(self):
+        rect = Rect.from_intervals([(0.0, 0.5), (0.0, 0.5)])
+        assert rect.contains_point([0.25, 0.5])
+        assert not rect.contains_point([0.6, 0.1])
+
+    def test_area_and_margin(self):
+        rect = Rect.from_intervals([(0.0, 0.5), (0.0, 0.2)])
+        assert rect.area() == pytest.approx(0.1)
+        assert rect.margin() == pytest.approx(0.7)
+
+    def test_enlargement(self):
+        rect = Rect.from_intervals([(0.0, 0.5), (0.0, 0.5)])
+        assert rect.enlargement(Rect.from_point([0.25, 0.25])) == pytest.approx(0.0)
+        assert rect.enlargement(Rect.from_point([1.0, 0.5])) > 0.0
+
+    def test_min_distance_l1(self):
+        left = Rect.from_intervals([(0.0, 0.2), (0.0, 0.2)])
+        right = Rect.from_intervals([(0.5, 0.6), (0.1, 0.3)])
+        # dim0 gap = 0.3, dim1 overlap = 0.
+        assert left.min_distance_to(right) == pytest.approx(0.3)
+        assert right.min_distance_to(left) == pytest.approx(0.3)
+
+    def test_center(self):
+        rect = Rect.from_intervals([(0.0, 0.4), (0.2, 0.6)])
+        assert rect.center() == (0.2, 0.4)
+
+
+class TestARTreeBasics:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            ARTree(dimensions=0)
+        with pytest.raises(ValueError):
+            ARTree(dimensions=2, max_entries=1)
+
+    def test_insert_and_len(self):
+        tree = ARTree(dimensions=2, max_entries=4)
+        for index in range(10):
+            tree.insert_point([index / 10, index / 10], payload=index)
+        assert len(tree) == 10
+
+    def test_dimension_mismatch_rejected(self):
+        tree = ARTree(dimensions=2)
+        with pytest.raises(ValueError):
+            tree.insert_point([0.1], payload="x")
+
+    def test_range_search_finds_expected_points(self):
+        tree = ARTree(dimensions=2, max_entries=4)
+        points = [(i / 20, j / 20) for i in range(10) for j in range(10)]
+        for point in points:
+            tree.insert_point(point, payload=point)
+        query = Rect.from_intervals([(0.0, 0.1), (0.0, 0.1)])
+        found = {entry.payload for entry in tree.range_search(query)}
+        expected = {point for point in points
+                    if point[0] <= 0.1 and point[1] <= 0.1}
+        assert found == expected
+
+    def test_range_search_is_exhaustive_random(self):
+        rng = random.Random(3)
+        tree = ARTree(dimensions=3, max_entries=5)
+        points = [tuple(rng.random() for _ in range(3)) for _ in range(200)]
+        for point in points:
+            tree.insert_point(point, payload=point)
+        query = Rect.from_intervals([(0.2, 0.6), (0.1, 0.9), (0.0, 0.5)])
+        found = {entry.payload for entry in tree.range_search(query)}
+        expected = {point for point in points if query.contains_point(point)}
+        assert found == expected
+
+    def test_all_entries_iterates_everything(self):
+        tree = ARTree(dimensions=1, max_entries=3)
+        for index in range(25):
+            tree.insert_point([index / 25], payload=index)
+        assert {entry.payload for entry in tree.all_entries()} == set(range(25))
+
+    def test_height_grows_with_inserts(self):
+        tree = ARTree(dimensions=1, max_entries=2)
+        assert tree.height() == 1
+        for index in range(20):
+            tree.insert_point([index / 20], payload=index)
+        assert tree.height() >= 2
+
+    def test_root_rect_covers_all_points(self):
+        tree = ARTree(dimensions=2, max_entries=3)
+        rng = random.Random(5)
+        points = [(rng.random(), rng.random()) for _ in range(50)]
+        for point in points:
+            tree.insert_point(point, payload=point)
+        root = tree.root_rect
+        assert all(root.contains_point(point) for point in points)
+
+
+class TestAggregates:
+    def _counting_tree(self):
+        aggregator = Aggregator(
+            from_payload=lambda rect, payload: 1,
+            merge=lambda left, right: left + right,
+        )
+        return ARTree(dimensions=1, max_entries=3, aggregator=aggregator)
+
+    def test_root_aggregate_counts_entries(self):
+        tree = self._counting_tree()
+        for index in range(17):
+            tree.insert_point([index / 17], payload=index)
+        assert tree.root_aggregate == 17
+
+    def test_keyword_set_aggregate(self):
+        aggregator = Aggregator(
+            from_payload=lambda rect, payload: frozenset(payload),
+            merge=lambda left, right: left | right,
+        )
+        tree = ARTree(dimensions=1, max_entries=2, aggregator=aggregator)
+        tree.insert_point([0.1], payload={"a"})
+        tree.insert_point([0.5], payload={"b"})
+        tree.insert_point([0.9], payload={"c"})
+        assert tree.root_aggregate == {"a", "b", "c"}
+
+    def test_combine_skips_none(self):
+        aggregator = Aggregator(from_payload=lambda rect, payload: payload,
+                                merge=lambda left, right: left + right)
+        assert aggregator.combine([None, 2, None, 3]) == 5
+        assert aggregator.combine([None, None]) is None
+
+
+class TestTraverse:
+    def test_traverse_prunes_subtrees(self):
+        tree = ARTree(dimensions=1, max_entries=4)
+        for index in range(100):
+            tree.insert_point([index / 100], payload=index)
+        query = Rect.from_intervals([(0.0, 0.05)])
+        results, visited = tree.traverse(
+            node_filter=lambda rect, aggregate: rect.intersects(query),
+            entry_filter=lambda entry: entry.rect.intersects(query),
+        )
+        assert {entry.payload for entry in results} == set(range(6))
+        # Pruning should avoid visiting the whole tree.
+        total_nodes = sum(1 for _ in tree.all_entries())
+        assert visited < total_nodes
+
+    def test_traverse_without_entry_filter_returns_leaf_entries(self):
+        tree = ARTree(dimensions=1, max_entries=4)
+        for index in range(10):
+            tree.insert_point([index / 10], payload=index)
+        results, _ = tree.traverse(node_filter=lambda rect, aggregate: True)
+        assert len(results) == 10

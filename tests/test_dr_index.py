@@ -1,0 +1,100 @@
+"""Unit tests for the DR-index I_R over the data repository (Section 5.1)."""
+
+import pytest
+
+from repro.core.tuples import Record
+from repro.imputation.cdd import discover_cdd_rules
+from repro.indexes.dr_index import DRIndex
+
+
+@pytest.fixture
+def dr_index(health_repository, health_pivots):
+    return DRIndex(health_repository, health_pivots, keywords=["diabetes", "flu"])
+
+
+@pytest.fixture
+def health_rules(health_repository):
+    return discover_cdd_rules(health_repository)
+
+
+class TestConstruction:
+    def test_every_sample_indexed(self, dr_index, health_repository):
+        assert len(dr_index) == len(health_repository)
+
+    def test_height_positive(self, dr_index):
+        assert dr_index.height >= 1
+
+    def test_root_keywords_aggregate(self, dr_index):
+        keywords = dr_index.root_keywords()
+        assert "diabetes" in keywords
+        assert "flu" in keywords
+
+    def test_no_keywords_configured(self, health_repository, health_pivots):
+        index = DRIndex(health_repository, health_pivots)
+        assert index.root_keywords() == frozenset()
+
+
+class TestCandidateSamples:
+    def test_no_false_dismissals(self, dr_index, health_repository, health_rules,
+                                 incomplete_health_record):
+        """Every sample that exactly satisfies a rule must be returned."""
+        for rule in health_rules:
+            if rule.dependent != "diagnosis":
+                continue
+            if not rule.applicable_to(incomplete_health_record, "diagnosis"):
+                continue
+            exact = {sample.rid for sample in health_repository.samples
+                     if rule.matches_sample(incomplete_health_record, sample)}
+            candidates = {sample.rid for sample in
+                          dr_index.candidate_samples(incomplete_health_record, rule)}
+            assert exact <= candidates, rule.describe()
+
+    def test_rule_with_missing_determinant_returns_nothing(self, dr_index,
+                                                           health_rules,
+                                                           health_repository):
+        record = Record(rid="r", values={name: None
+                                         for name in health_repository.schema})
+        for rule in health_rules[:10]:
+            assert dr_index.candidate_samples(record, rule) == []
+
+    def test_nodes_visited_increases(self, dr_index, health_rules,
+                                     incomplete_health_record):
+        before = dr_index.nodes_visited
+        applicable = [rule for rule in health_rules
+                      if rule.applicable_to(incomplete_health_record, "diagnosis")]
+        if applicable:
+            dr_index.candidate_samples(incomplete_health_record, applicable[0])
+            assert dr_index.nodes_visited > before
+
+    def test_retriever_hook(self, dr_index, health_rules, incomplete_health_record):
+        retriever = dr_index.make_retriever()
+        applicable = [rule for rule in health_rules
+                      if rule.applicable_to(incomplete_health_record, "diagnosis")]
+        if applicable:
+            samples = retriever(incomplete_health_record, applicable[0])
+            assert isinstance(samples, list)
+
+
+class TestRangeQueryAndMaintenance:
+    def test_full_range_query_returns_everything(self, dr_index, health_repository):
+        intervals = [(0.0, 1.0)] * len(health_repository.schema)
+        assert len(dr_index.range_query(intervals)) == len(health_repository)
+
+    def test_narrow_range_query_subset(self, dr_index, health_repository):
+        intervals = [(0.0, 0.2)] * len(health_repository.schema)
+        results = dr_index.range_query(intervals)
+        assert len(results) <= len(health_repository)
+
+    def test_insert_sample_updates_repository_and_index(self, dr_index,
+                                                        health_repository,
+                                                        health_schema):
+        before = len(dr_index)
+        new_sample = Record(rid="new", values={
+            "gender": "female", "symptom": "thirst fatigue",
+            "diagnosis": "diabetes", "treatment": "insulin"}, source="repository")
+        dr_index.insert_sample(new_sample)
+        assert len(dr_index) == before + 1
+        assert health_repository.sample_by_rid("new") is not None
+        # The new sample must be reachable through a full range query.
+        intervals = [(0.0, 1.0)] * len(health_schema)
+        assert any(sample.rid == "new" for sample in dr_index.range_query(intervals))

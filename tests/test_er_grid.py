@@ -1,0 +1,194 @@
+"""Unit tests for the ER-grid synopsis over sliding windows (Section 5.2)."""
+
+import pytest
+
+from repro.core.matching import ter_ids_probability
+from repro.core.pruning import RecordSynopsis
+from repro.core.tuples import ImputedRecord, Record, Schema
+from repro.imputation.repository import DataRepository
+from repro.indexes.er_grid import ERGrid, GridCell
+from repro.indexes.pivots import PivotSelectionConfig, select_pivots
+
+SCHEMA = Schema(attributes=("symptom", "diagnosis"))
+KEYWORDS = frozenset({"diabetes"})
+
+
+def _pivots():
+    samples = [
+        Record(rid="p0", values={"symptom": "fever cough chills", "diagnosis": "flu"}),
+        Record(rid="p1", values={"symptom": "weight loss blurred vision",
+                                 "diagnosis": "diabetes"}),
+        Record(rid="p2", values={"symptom": "red eye itchy",
+                                 "diagnosis": "conjunctivitis"}),
+    ]
+    repository = DataRepository(schema=SCHEMA, samples=samples)
+    return select_pivots(repository, PivotSelectionConfig(buckets=5,
+                                                          min_entropy=0.3,
+                                                          max_pivots=2))
+
+
+PIVOTS = _pivots()
+
+
+def _synopsis(rid, symptom, diagnosis, candidates=None, source="s1"):
+    record = Record(rid=rid, values={"symptom": symptom, "diagnosis": diagnosis},
+                    source=source)
+    imputed = ImputedRecord(base=record, schema=SCHEMA,
+                            candidates=candidates or {})
+    return RecordSynopsis.build(imputed, PIVOTS, KEYWORDS)
+
+
+class TestGridMaintenance:
+    def test_insert_and_len(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        grid.insert(_synopsis("r1", "fever", "flu"))
+        grid.insert(_synopsis("r2", "thirst", "diabetes"))
+        assert len(grid) == 2
+        assert grid.cell_count >= 1
+
+    def test_contains_and_get(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        synopsis = _synopsis("r1", "fever", "flu")
+        grid.insert(synopsis)
+        assert grid.contains("r1", "s1")
+        assert grid.get_synopsis("r1", "s1") is synopsis
+        assert not grid.contains("r1", "other")
+
+    def test_remove(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        grid.insert(_synopsis("r1", "fever", "flu"))
+        assert grid.remove("r1", "s1")
+        assert len(grid) == 0
+        assert grid.cell_count == 0
+        assert not grid.remove("r1", "s1")
+
+    def test_reinsert_replaces(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        grid.insert(_synopsis("r1", "fever", "flu"))
+        grid.insert(_synopsis("r1", "thirst", "diabetes"))
+        assert len(grid) == 1
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            ERGrid(SCHEMA, cells_per_dim=0)
+
+    def test_imputed_record_spans_multiple_cells(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=8)
+        wide = _synopsis("r1", "fever", None,
+                         candidates={"diagnosis": {"flu": 0.5, "diabetes": 0.5}})
+        grid.insert(wide)
+        # The record's diagnosis interval is wide, so it should register in
+        # at least one cell (possibly several).
+        assert grid.cell_count >= 1
+        assert grid.remove("r1", "s1")
+
+
+class TestCellAggregates:
+    def test_cell_keyword_flag(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=1)  # everything in one cell
+        grid.insert(_synopsis("r1", "fever", "flu"))
+        cell = next(iter(grid._cells.values()))
+        assert not cell.may_have_keyword
+        grid.insert(_synopsis("r2", "thirst", "diabetes"))
+        cell = next(iter(grid._cells.values()))
+        assert cell.may_have_keyword
+
+    def test_cell_aggregates_bound_entries(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=1)
+        synopses = [_synopsis("r1", "fever cough", "flu"),
+                    _synopsis("r2", "weight loss", "diabetes")]
+        for synopsis in synopses:
+            grid.insert(synopsis)
+        cell = next(iter(grid._cells.values()))
+        for index, attribute in enumerate(SCHEMA):
+            low, high = cell.distance_intervals[index]
+            size_low, size_high = cell.token_size_intervals[index]
+            for synopsis in synopses:
+                entry_low, entry_high = synopsis.main_interval(attribute)
+                assert low - 1e-9 <= entry_low and entry_high <= high + 1e-9
+                entry_size_low, entry_size_high = synopsis.token_size_bounds[attribute]
+                assert size_low <= entry_size_low and entry_size_high <= size_high
+
+    def test_cell_recompute_after_removal(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=1)
+        grid.insert(_synopsis("r1", "thirst", "diabetes"))
+        grid.insert(_synopsis("r2", "fever", "flu"))
+        grid.remove("r1", "s1")
+        cell = next(iter(grid._cells.values()))
+        assert not cell.may_have_keyword
+
+    def test_cell_bounds(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        bounds = grid.cell_bounds((0, 3))
+        assert bounds[0] == (0.0, 0.25)
+        assert bounds[1] == (0.75, 1.0)
+
+
+class TestCandidateRetrieval:
+    def _populate(self, grid):
+        synopses = [
+            _synopsis("a1", "weight loss blurred vision", "diabetes", source="sa"),
+            _synopsis("a2", "fever cough", "flu", source="sa"),
+            _synopsis("b1", "weight loss blurred vision", "diabetes", source="sb"),
+            _synopsis("b2", "red eye itchy", "conjunctivitis", source="sb"),
+        ]
+        for synopsis in synopses:
+            grid.insert(synopsis)
+        return synopses
+
+    def test_no_false_dismissals_vs_exact(self):
+        """Grid retrieval must return every tuple whose exact probability passes."""
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        self._populate(grid)
+        query = _synopsis("q", "weight loss blurred vision", "diabetes",
+                          source="sq")
+        gamma = 1.0
+        candidates = grid.candidate_synopses(query, gamma=gamma,
+                                             keywords=KEYWORDS)
+        candidate_keys = {(c.rid, c.source) for c in candidates}
+        for synopsis in grid.synopses():
+            probability = ter_ids_probability(query.record, synopsis.record,
+                                              KEYWORDS, gamma)
+            if probability > 0:
+                assert (synopsis.rid, synopsis.source) in candidate_keys
+
+    def test_exclude_source(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        self._populate(grid)
+        query = _synopsis("q", "weight loss blurred vision", "diabetes",
+                          source="sa")
+        candidates = grid.candidate_synopses(query, gamma=1.0,
+                                             exclude_source="sa")
+        assert all(candidate.source != "sa" for candidate in candidates)
+
+    def test_query_excludes_itself(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        synopsis = _synopsis("a1", "fever", "flu", source="sa")
+        grid.insert(synopsis)
+        candidates = grid.candidate_synopses(synopsis, gamma=0.5)
+        assert all(candidate.rid != "a1" or candidate.source != "sa"
+                   for candidate in candidates)
+
+    def test_counters_increase(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        self._populate(grid)
+        query = _synopsis("q", "weight loss", "diabetes", source="sq")
+        grid.candidate_synopses(query, gamma=1.0)
+        assert grid.cells_examined > 0
+
+    def test_distant_tuples_can_be_skipped(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=8)
+        # Far-apart populations: many dissimilar tuples plus one similar.
+        for index in range(20):
+            grid.insert(_synopsis(f"far{index}", "red eye itchy watery",
+                                  "conjunctivitis", source="sb"))
+        grid.insert(_synopsis("near", "weight loss blurred vision", "diabetes",
+                              source="sb"))
+        query = _synopsis("q", "weight loss blurred vision", "diabetes",
+                          source="sa")
+        candidates = grid.candidate_synopses(query, gamma=1.8)
+        candidate_rids = {candidate.rid for candidate in candidates}
+        assert "near" in candidate_rids
+        # With a tight gamma the distant population should be (at least
+        # partially) pruned at the cell level.
+        assert grid.tuples_examined <= 21

@@ -1,0 +1,196 @@
+"""Tests for the paper's sketched extensions: time-based windows and
+heterogeneous-schema similarity."""
+
+import pytest
+
+from repro.core.heterogeneous import (
+    HeterogeneousMatcher,
+    heterogeneous_probability,
+    heterogeneous_similarity,
+    record_token_set,
+)
+from repro.core.time_window import TimeBasedWindow, TimeBatchedStream, run_time_based
+from repro.core.tuples import ImputedRecord, Record, Schema
+
+SCHEMA = Schema(attributes=("x", "y"))
+
+
+def _record(rid, x, y, source="s1", timestamp=-1):
+    return Record(rid=rid, values={"x": x, "y": y}, source=source,
+                  timestamp=timestamp)
+
+
+class TestTimeBasedWindow:
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            TimeBasedWindow(duration=0)
+
+    def test_items_within_duration_are_kept(self):
+        window = TimeBasedWindow(duration=3)
+        window.insert(_record("r0", "a", "b"), timestamp=0)
+        window.insert(_record("r1", "a", "b"), timestamp=1)
+        window.insert(_record("r2", "a", "b"), timestamp=2)
+        assert len(window) == 3
+        assert window.timestamps() == [0, 1, 2]
+
+    def test_expiry_on_advance(self):
+        window = TimeBasedWindow(duration=2)
+        window.insert(_record("r0", "a", "b"), timestamp=0)
+        window.insert(_record("r1", "a", "b"), timestamp=1)
+        expired = window.advance_to(3)
+        assert [item.rid for item in expired] == ["r0", "r1"]
+        assert len(window) == 0
+
+    def test_insert_returns_expired(self):
+        window = TimeBasedWindow(duration=1)
+        window.insert(_record("r0", "a", "b"), timestamp=0)
+        expired = window.insert(_record("r1", "a", "b"), timestamp=2)
+        assert [item.rid for item in expired] == ["r0"]
+
+    def test_multiple_arrivals_same_timestamp(self):
+        window = TimeBasedWindow(duration=2)
+        window.insert(_record("r0", "a", "b"), timestamp=0)
+        window.insert(_record("r1", "a", "b"), timestamp=0)
+        assert len(window) == 2
+
+    def test_out_of_order_rejected(self):
+        window = TimeBasedWindow(duration=2)
+        window.insert(_record("r0", "a", "b"), timestamp=5)
+        with pytest.raises(ValueError):
+            window.insert(_record("r1", "a", "b"), timestamp=3)
+        with pytest.raises(ValueError):
+            window.advance_to(1)
+
+    def test_lookup(self):
+        window = TimeBasedWindow(duration=2)
+        record = _record("r0", "a", "b")
+        window.insert(record, timestamp=0)
+        assert window.get("r0", "s1") is record
+        assert window.get("r0", "other") is None
+
+
+class TestTimeBatchedStream:
+    def test_batching(self):
+        records = [_record(f"r{i}", "a", "b") for i in range(5)]
+        stream = TimeBatchedStream(schema=SCHEMA, records=records,
+                                   arrivals_per_tick=2)
+        batches = list(stream.batches())
+        assert [timestamp for timestamp, _ in batches] == [0, 1, 2]
+        assert [len(batch) for _, batch in batches] == [2, 2, 1]
+        assert stream.tick_count() == 3
+
+    def test_records_are_stamped(self):
+        records = [_record(f"r{i}", "a", "b") for i in range(4)]
+        stream = TimeBatchedStream(schema=SCHEMA, records=records,
+                                   arrivals_per_tick=2)
+        for timestamp, batch in stream.batches():
+            assert all(record.timestamp == timestamp for record in batch)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeBatchedStream(schema=SCHEMA, records=[], arrivals_per_tick=0)
+
+    def test_run_time_based_with_engine(self, health_repository, health_config):
+        from repro.core.engine import TERiDSEngine
+
+        engine = TERiDSEngine(repository=health_repository, config=health_config)
+        records = [
+            Record(rid="a1", values={"gender": "male",
+                                     "symptom": "thirst weight loss",
+                                     "diagnosis": "diabetes",
+                                     "treatment": "insulin"}, source="stream-a"),
+            Record(rid="b1", values={"gender": "male",
+                                     "symptom": "thirst weight loss",
+                                     "diagnosis": "diabetes",
+                                     "treatment": "insulin"}, source="stream-b"),
+            Record(rid="a2", values={"gender": "female", "symptom": "fever",
+                                     "diagnosis": "flu", "treatment": "rest"},
+                   source="stream-a"),
+            Record(rid="b2", values={"gender": "female", "symptom": "cough",
+                                     "diagnosis": "flu", "treatment": "rest"},
+                   source="stream-b"),
+        ]
+        stream = TimeBatchedStream(schema=health_repository.schema,
+                                   records=records, arrivals_per_tick=2)
+        matches = run_time_based(engine, stream, window_duration=1)
+        assert any({pair.left_rid, pair.right_rid} == {"a1", "b1"}
+                   for pair in matches)
+        # After time moves past the window duration, the old pair must have
+        # been evicted from the live result set.
+        assert all(not pair.involves("a1", "stream-a")
+                   for pair in engine.result_set.pairs())
+
+
+class TestHeterogeneousSimilarity:
+    def test_record_token_set_all_attributes(self):
+        record = Record(rid="r", values={"x": "a b", "z": "c"})
+        assert record_token_set(record) == {"a", "b", "c"}
+
+    def test_record_token_set_with_schema_filter(self):
+        record = Record(rid="r", values={"x": "a b", "y": "c"})
+        assert record_token_set(record, SCHEMA) == {"a", "b", "c"}
+
+    def test_similarity_in_unit_interval(self):
+        left = _record("l", "query index join", "databases")
+        right = Record(rid="r", values={"name": "query index",
+                                        "area": "databases"}, source="s2")
+        score = heterogeneous_similarity(left, right)
+        assert 0.0 < score <= 1.0
+
+    def test_identical_records_similarity_one(self):
+        left = _record("l", "a b", "c")
+        right = Record(rid="r", values={"p": "a", "q": "b c"}, source="s2")
+        assert heterogeneous_similarity(left, right) == 1.0
+
+    def test_probability_respects_topic(self):
+        left = ImputedRecord.from_complete(_record("l", "diabetes care", "x"), SCHEMA)
+        right = ImputedRecord.from_complete(
+            _record("r", "diabetes care", "x", source="s2"), SCHEMA)
+        topical = heterogeneous_probability(left, right, frozenset({"diabetes"}),
+                                            gamma=0.5)
+        off_topic = heterogeneous_probability(left, right, frozenset({"flu"}),
+                                              gamma=0.5)
+        assert topical == 1.0
+        assert off_topic == 0.0
+
+    def test_probability_weights_instances(self):
+        left = ImputedRecord(
+            base=_record("l", "diabetes care plan", None),
+            schema=SCHEMA,
+            candidates={"y": {"insulin therapy": 0.6, "unrelated stuff": 0.4}})
+        right = ImputedRecord.from_complete(
+            _record("r", "diabetes care plan", "insulin therapy", source="s2"),
+            SCHEMA)
+        probability = heterogeneous_probability(left, right,
+                                                frozenset({"diabetes"}),
+                                                gamma=0.7)
+        assert probability == pytest.approx(0.6)
+
+
+class TestHeterogeneousMatcher:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousMatcher(keywords=frozenset(), gamma=1.5, alpha=0.5)
+        with pytest.raises(ValueError):
+            HeterogeneousMatcher(keywords=frozenset(), gamma=0.5, alpha=1.0)
+
+    def test_match_pair_and_none(self):
+        matcher = HeterogeneousMatcher(keywords=frozenset({"diabetes"}),
+                                       gamma=0.6, alpha=0.3)
+        left = ImputedRecord.from_complete(
+            _record("l", "diabetes care", "insulin"), SCHEMA)
+        right = ImputedRecord.from_complete(
+            _record("r", "diabetes care", "insulin", source="s2"), SCHEMA)
+        unrelated = ImputedRecord.from_complete(
+            _record("u", "flu season", "rest", source="s2"), SCHEMA)
+        assert matcher.match_pair(left, right) is not None
+        assert matcher.match_pair(left, unrelated) is None
+
+    def test_match_against_skips_same_source(self):
+        matcher = HeterogeneousMatcher(keywords=frozenset(), gamma=0.6, alpha=0.1)
+        query = ImputedRecord.from_complete(_record("q", "a b", "c"), SCHEMA)
+        same_source = ImputedRecord.from_complete(_record("s", "a b", "c"), SCHEMA)
+        other_source = ImputedRecord.from_complete(
+            _record("o", "a b", "c", source="s2"), SCHEMA)
+        matches = matcher.match_against(query, [same_source, other_source])
+        assert [pair.right_rid for pair in matches] == ["o"]

@@ -1,0 +1,160 @@
+"""Tests for the accuracy metrics (Eq. (6)) and the timing utilities."""
+
+import time
+
+import pytest
+
+from repro.core.matching import MatchPair
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    evaluate_key_sets,
+    evaluate_matches,
+    match_pairs_to_keys,
+    pair_key,
+)
+from repro.metrics.timing import (
+    STAGE_CDD_SELECTION,
+    STAGE_ER,
+    STAGE_IMPUTATION,
+    BreakupCost,
+    StageTimer,
+    Stopwatch,
+    time_callable,
+)
+
+
+class TestPairKey:
+    def test_order_independence(self):
+        assert pair_key("a", "r1", "b", "r2") == pair_key("b", "r2", "a", "r1")
+
+    def test_match_pairs_to_keys(self):
+        pairs = [MatchPair("r1", "a", "r2", "b", 0.9),
+                 MatchPair("r2", "b", "r1", "a", 0.8)]
+        assert len(match_pairs_to_keys(pairs)) == 1
+
+
+class TestAccuracyReport:
+    def test_perfect_report(self):
+        report = AccuracyReport(true_positives=10, false_positives=0,
+                                false_negatives=0)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f_score == 1.0
+
+    def test_equation6(self):
+        report = AccuracyReport(true_positives=6, false_positives=2,
+                                false_negatives=4)
+        precision = 6 / 8
+        recall = 6 / 10
+        expected = 2 * precision * recall / (precision + recall)
+        assert report.precision == pytest.approx(precision)
+        assert report.recall == pytest.approx(recall)
+        assert report.f_score == pytest.approx(expected)
+
+    def test_empty_report(self):
+        report = AccuracyReport(true_positives=0, false_positives=0,
+                                false_negatives=0)
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f_score == 0.0
+
+    def test_as_dict(self):
+        report = AccuracyReport(true_positives=1, false_positives=2,
+                                false_negatives=3)
+        data = report.as_dict()
+        assert data["true_positives"] == 1
+        assert data["false_negatives"] == 3
+
+
+class TestEvaluateMatches:
+    def test_evaluate_against_ground_truth(self):
+        truth = {pair_key("a", "r1", "b", "r2"), pair_key("a", "r3", "b", "r4")}
+        reported = [MatchPair("r1", "a", "r2", "b", 0.9),   # true positive
+                    MatchPair("r9", "a", "r2", "b", 0.9)]   # false positive
+        report = evaluate_matches(reported, truth)
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+
+    def test_evaluate_key_sets(self):
+        truth = {pair_key("a", "1", "b", "2")}
+        reported = {pair_key("b", "2", "a", "1")}
+        report = evaluate_key_sets(reported, truth)
+        assert report.f_score == 1.0
+
+    def test_empty_reported(self):
+        truth = {pair_key("a", "1", "b", "2")}
+        report = evaluate_matches([], truth)
+        assert report.recall == 0.0
+        assert report.false_negatives == 1
+
+
+class TestStageTimer:
+    def test_measure_accumulates(self):
+        timer = StageTimer()
+        with timer.measure("stage"):
+            time.sleep(0.001)
+        with timer.measure("stage"):
+            time.sleep(0.001)
+        assert timer.total("stage") >= 0.002
+        assert timer.counts["stage"] == 2
+        assert timer.mean("stage") > 0
+
+    def test_manual_add_and_total(self):
+        timer = StageTimer()
+        timer.add("a", 1.0)
+        timer.add("b", 2.0)
+        assert timer.total() == pytest.approx(3.0)
+        assert timer.total("a") == pytest.approx(1.0)
+        assert timer.as_dict() == {"a": 1.0, "b": 2.0}
+
+    def test_mean_of_unknown_stage(self):
+        assert StageTimer().mean("nothing") == 0.0
+
+    def test_reset(self):
+        timer = StageTimer()
+        timer.add("a", 1.0)
+        timer.reset()
+        assert timer.total() == 0.0
+
+
+class TestBreakupCost:
+    def test_from_timer_averages(self):
+        timer = StageTimer()
+        timer.add(STAGE_CDD_SELECTION, 1.0)
+        timer.add(STAGE_IMPUTATION, 2.0)
+        timer.add(STAGE_ER, 3.0)
+        cost = BreakupCost.from_timer(timer, timestamps=2)
+        assert cost.cdd_selection == pytest.approx(0.5)
+        assert cost.imputation == pytest.approx(1.0)
+        assert cost.entity_resolution == pytest.approx(1.5)
+        assert cost.total == pytest.approx(3.0)
+        assert set(cost.as_dict()) == {STAGE_CDD_SELECTION, STAGE_IMPUTATION,
+                                       STAGE_ER}
+
+    def test_zero_timestamps_safe(self):
+        cost = BreakupCost.from_timer(StageTimer(), timestamps=0)
+        assert cost.total == 0.0
+
+
+class TestStopwatchAndTimeCallable:
+    def test_stopwatch_measures(self):
+        stopwatch = Stopwatch()
+        with stopwatch.measure():
+            time.sleep(0.001)
+        assert stopwatch.elapsed > 0
+
+    def test_stopwatch_requires_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_stopwatch_reset(self):
+        stopwatch = Stopwatch().start()
+        stopwatch.stop()
+        stopwatch.reset()
+        assert stopwatch.elapsed == 0.0
+
+    def test_time_callable(self):
+        result, elapsed = time_callable(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0

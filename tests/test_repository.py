@@ -1,0 +1,113 @@
+"""Unit tests for the complete data repository R."""
+
+import pytest
+
+from repro.core.tuples import Record, Schema
+from repro.imputation.repository import DataRepository, RepositoryError
+
+SCHEMA = Schema(attributes=("x", "y"))
+
+
+def _sample(rid, x, y):
+    return Record(rid=rid, values={"x": x, "y": y}, source="repository")
+
+
+class TestRepositoryConstruction:
+    def test_len_and_iter(self):
+        repository = DataRepository(schema=SCHEMA,
+                                    samples=[_sample("s0", "a", "b"),
+                                             _sample("s1", "c", "d")])
+        assert len(repository) == 2
+        assert [sample.rid for sample in repository] == ["s0", "s1"]
+
+    def test_incomplete_sample_rejected(self):
+        with pytest.raises(RepositoryError):
+            DataRepository(schema=SCHEMA,
+                           samples=[Record(rid="s0", values={"x": "a", "y": None})])
+
+    def test_from_records_drops_incomplete(self):
+        records = [_sample("s0", "a", "b"),
+                   Record(rid="s1", values={"x": "a", "y": None})]
+        repository = DataRepository.from_records(records, SCHEMA)
+        assert len(repository) == 1
+
+    def test_from_records_strict_mode(self):
+        records = [Record(rid="s1", values={"x": "a", "y": None})]
+        with pytest.raises(RepositoryError):
+            DataRepository.from_records(records, SCHEMA, drop_incomplete=False)
+
+
+class TestDomains:
+    def test_domain_values_deduplicated(self):
+        repository = DataRepository(schema=SCHEMA,
+                                    samples=[_sample("s0", "a", "b"),
+                                             _sample("s1", "a", "c")])
+        assert repository.domain("x") == ["a"]
+        assert sorted(repository.domain("y")) == ["b", "c"]
+        assert repository.domain_size("x") == 1
+
+    def test_domain_unknown_attribute(self):
+        repository = DataRepository(schema=SCHEMA, samples=[])
+        with pytest.raises(RepositoryError):
+            repository.domain("unknown")
+
+    def test_values_keep_repetitions(self):
+        repository = DataRepository(schema=SCHEMA,
+                                    samples=[_sample("s0", "a", "b"),
+                                             _sample("s1", "a", "c")])
+        assert repository.values("x") == ["a", "a"]
+
+    def test_token_vocabulary(self):
+        repository = DataRepository(schema=SCHEMA,
+                                    samples=[_sample("s0", "alpha beta", "gamma")])
+        assert repository.token_vocabulary("x") == {"alpha", "beta"}
+        assert repository.token_vocabulary() == {"alpha", "beta", "gamma"}
+
+
+class TestRepositoryQueries:
+    def test_nearest_values_ranked_by_distance(self):
+        repository = DataRepository(
+            schema=SCHEMA,
+            samples=[_sample("s0", "query index", "a"),
+                     _sample("s1", "query join", "b"),
+                     _sample("s2", "totally unrelated", "c")])
+        nearest = repository.nearest_values("x", "query index tuning", limit=2)
+        assert nearest[0] == "query index"
+        assert "totally unrelated" not in nearest
+
+    def test_sample_by_rid(self):
+        repository = DataRepository(schema=SCHEMA, samples=[_sample("s0", "a", "b")])
+        assert repository.sample_by_rid("s0").rid == "s0"
+        assert repository.sample_by_rid("missing") is None
+
+    def test_add_sample_updates_domains(self):
+        repository = DataRepository(schema=SCHEMA, samples=[_sample("s0", "a", "b")])
+        repository.add_sample(_sample("s1", "z", "b"))
+        assert "z" in repository.domain("x")
+        assert len(repository) == 2
+
+    def test_extend(self):
+        repository = DataRepository(schema=SCHEMA, samples=[])
+        repository.extend([_sample("s0", "a", "b"), _sample("s1", "c", "d")])
+        assert len(repository) == 2
+
+
+class TestSubset:
+    def test_subset_fraction(self):
+        samples = [_sample(f"s{i}", f"x{i}", f"y{i}") for i in range(10)]
+        repository = DataRepository(schema=SCHEMA, samples=samples)
+        half = repository.subset(0.5)
+        assert 1 <= len(half) <= 10
+        assert all(sample in samples for sample in half.samples)
+
+    def test_subset_full(self):
+        samples = [_sample(f"s{i}", f"x{i}", f"y{i}") for i in range(4)]
+        repository = DataRepository(schema=SCHEMA, samples=samples)
+        assert len(repository.subset(1.0)) == 4
+
+    def test_subset_invalid_fraction(self):
+        repository = DataRepository(schema=SCHEMA, samples=[_sample("s0", "a", "b")])
+        with pytest.raises(RepositoryError):
+            repository.subset(0.0)
+        with pytest.raises(RepositoryError):
+            repository.subset(1.5)
