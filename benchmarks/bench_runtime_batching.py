@@ -1,0 +1,126 @@
+"""Serial vs micro-batch runtime throughput (the staged-runtime bench).
+
+Runs the identical workload through the ``SerialExecutor`` (the paper's
+tuple-at-a-time semantics) and the ``MicroBatchExecutor`` at several batch
+sizes, verifies that every configuration reports the *same match set*, and
+prints the throughput (tuples/second) plus the speedup over serial.  The
+acceptance bar for the micro-batch runtime is >= 1.5x at batch size >= 32.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_batching.py
+
+or under pytest-benchmark::
+
+    python -m pytest benchmarks/bench_runtime_batching.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import TERiDSConfig  # noqa: E402
+from repro.core.engine import TERiDSEngine  # noqa: E402
+from repro.datasets.synthetic import generate_dataset  # noqa: E402
+from repro.experiments.harness import format_rows  # noqa: E402
+from repro.metrics.timing import now  # noqa: E402
+from repro.runtime import MicroBatchExecutor, SerialExecutor  # noqa: E402
+
+BENCH_DATASET = "citations"
+BENCH_SCALE = 1.0
+BENCH_SEED = 7
+BENCH_WINDOW = 60
+BATCH_SIZES = (8, 32, 64, 128)
+
+
+def _build():
+    workload = generate_dataset(BENCH_DATASET, missing_rate=0.3,
+                                scale=BENCH_SCALE, seed=BENCH_SEED)
+    config = TERiDSConfig(
+        schema=workload.schema,
+        keywords=workload.keywords,
+        alpha=0.5,
+        similarity_ratio=0.5,
+        window_size=BENCH_WINDOW,
+    )
+    return workload, config
+
+
+def _run(executor) -> Dict[str, object]:
+    workload, config = _build()
+    engine = TERiDSEngine(repository=workload.repository, config=config,
+                          executor=executor)
+    records = list(workload.interleaved_records())
+    start = now()
+    report = engine.run(records)
+    elapsed = now() - start
+    engine.close()
+    return {
+        "tuples": len(records),
+        "seconds": elapsed,
+        "throughput": len(records) / elapsed if elapsed > 0 else float("inf"),
+        "match_keys": sorted(pair.key() for pair in report.matches),
+    }
+
+
+def run_bench(batch_sizes=BATCH_SIZES,
+              max_workers: Optional[int] = None) -> List[Dict[str, object]]:
+    """Run the serial baseline and every batch size; return printable rows."""
+    serial = _run(SerialExecutor())
+    rows: List[Dict[str, object]] = [{
+        "executor": "serial",
+        "batch_size": 1,
+        "tuples": serial["tuples"],
+        "seconds": round(serial["seconds"], 4),
+        "tuples_per_sec": round(serial["throughput"], 1),
+        "speedup_vs_serial": 1.0,
+        "matches_identical": True,
+    }]
+    for batch_size in batch_sizes:
+        result = _run(MicroBatchExecutor(batch_size=batch_size,
+                                         max_workers=max_workers))
+        rows.append({
+            "executor": "micro-batch",
+            "batch_size": batch_size,
+            "tuples": result["tuples"],
+            "seconds": round(result["seconds"], 4),
+            "tuples_per_sec": round(result["throughput"], 1),
+            "speedup_vs_serial": round(result["throughput"]
+                                       / serial["throughput"], 2),
+            "matches_identical": result["match_keys"] == serial["match_keys"],
+        })
+    return rows
+
+
+def test_runtime_batching(benchmark):
+    """pytest-benchmark entry point (one full sweep, correctness asserted)."""
+    rows = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    print("\n=== runtime batching: serial vs micro-batch ===")
+    print(format_rows(rows))
+    assert all(row["matches_identical"] for row in rows)
+
+
+def main() -> int:
+    rows = run_bench()
+    print("=== runtime batching: serial vs micro-batch "
+          f"({BENCH_DATASET}, scale={BENCH_SCALE}, window={BENCH_WINDOW}) ===")
+    print(format_rows(rows))
+    if not all(row["matches_identical"] for row in rows):
+        print("FAIL: a micro-batch configuration changed the match set")
+        return 1
+    target = [row for row in rows
+              if row["executor"] == "micro-batch" and row["batch_size"] >= 32]
+    best = max(row["speedup_vs_serial"] for row in target)
+    print(f"\nbest speedup at batch_size >= 32: {best:.2f}x "
+          f"(target: >= 1.5x)")
+    return 0 if best >= 1.5 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

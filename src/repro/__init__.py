@@ -72,12 +72,21 @@ from repro.imputation import (
 from repro.indexes import ARTree, CDDIndex, DRIndex, ERGrid, PivotTable, select_pivots
 from repro.metrics import AccuracyReport, evaluate_matches
 from repro.persistence import (
+    load_checkpoint,
     load_matches,
     load_repository,
     load_rules,
+    save_checkpoint,
     save_matches,
     save_repository,
     save_rules,
+)
+from repro.runtime import (
+    Executor,
+    MicroBatchExecutor,
+    Pipeline,
+    RuntimeContext,
+    SerialExecutor,
 )
 
 __version__ = "1.0.0"
@@ -96,22 +105,27 @@ __all__ = [
     "ERGrid",
     "EngineReport",
     "EntityResultSet",
+    "Executor",
     "ImputedRecord",
     "IncompleteDataStream",
     "Instance",
     "MatchPair",
+    "MicroBatchExecutor",
     "METHOD_CDD_ER",
     "METHOD_CON_ER",
     "METHOD_DD_ER",
     "METHOD_ER_ER",
     "METHOD_IJ_GER",
     "METHOD_TER_IDS",
+    "Pipeline",
     "PivotTable",
     "PruningPipeline",
     "PruningStats",
     "Record",
     "RecordSynopsis",
+    "RuntimeContext",
     "Schema",
+    "SerialExecutor",
     "SlidingWindow",
     "StreamSet",
     "TERiDSConfig",
@@ -125,10 +139,12 @@ __all__ = [
     "generate_dataset",
     "jaccard_distance",
     "jaccard_similarity",
+    "load_checkpoint",
     "load_matches",
     "load_repository",
     "load_rules",
     "make_workload",
+    "save_checkpoint",
     "save_matches",
     "save_repository",
     "save_rules",

@@ -1,34 +1,42 @@
 """The TER-iDS processing engine (Algorithms 1 and 2 of the paper).
 
-:class:`TERiDSEngine` wires together every substrate:
+:class:`TERiDSEngine` is a thin facade over the staged streaming runtime of
+:mod:`repro.runtime`:
 
-* **pre-computation phase** — select pivot tuples from the repository,
-  mine CDD rules, build the per-attribute CDD-indexes and the DR-index,
-  create the ER-grid synopsis over the streams (Algorithm 1, lines 1–6);
-* **imputation + pruning phase** — per arriving tuple, evict the expired
-  tuple of that stream, run the index join (CDD-index → applicable rules,
-  DR-index → candidate samples, Equation (4) → imputed instances), query the
-  ER-grid for candidate matching tuples and filter them with the four
-  pruning strategies (Algorithm 2, lines 2–25);
-* **refinement phase** — compute the exact TER-iDS probability of surviving
-  candidates (with Theorem 4.4 early termination) and maintain the entity
-  result set ``ES`` (Algorithm 2, line 26).
+* **pre-computation phase** — the constructor selects pivot tuples from the
+  repository, mines CDD rules, builds the per-attribute CDD-indexes and the
+  DR-index, and creates the ER-grid synopsis over the streams (Algorithm 1,
+  lines 1–6), wiring everything into a
+  :class:`~repro.runtime.context.RuntimeContext`;
+* **online phase** — arriving tuples flow through the
+  :class:`~repro.runtime.pipeline.Pipeline` stages (CDD selection →
+  imputation → synopsis → grid lookup → pruning/refinement → maintenance,
+  Algorithm 2) under a pluggable
+  :class:`~repro.runtime.executors.Executor`: the default
+  :class:`~repro.runtime.executors.SerialExecutor` reproduces the original
+  single-tuple semantics bit-identically, while
+  :class:`~repro.runtime.executors.MicroBatchExecutor` ingests micro-batches
+  and amortises per-tuple work without changing the answers;
+* **state management** — :meth:`checkpoint` / :meth:`restore_checkpoint`
+  round-trip the online state (windows, grid, result set, counters) through
+  the :mod:`repro.persistence` serialisers so a stream can be paused and
+  resumed with identical results.
 
-The engine also records everything the evaluation section needs: pruning
+The engine still records everything the evaluation section needs: pruning
 power (Figure 4), break-up cost (Figure 6), imputation statistics and
 wall-clock times.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import TERiDSConfig
 from repro.core.matching import EntityResultSet, MatchPair
-from repro.core.pruning import PruningPipeline, PruningStats, RecordSynopsis
+from repro.core.pruning import PruningPipeline, PruningStats
 from repro.core.stream import SlidingWindow
-from repro.core.tuples import ImputedRecord, Record, Schema
+from repro.core.tuples import Record, Schema
 from repro.imputation.cdd import CDDDiscoveryConfig, CDDRule, discover_cdd_rules
 from repro.imputation.imputer import CDDImputer, ImputationStats
 from repro.imputation.repository import DataRepository
@@ -36,13 +44,12 @@ from repro.indexes.cdd_index import CDDIndex, build_cdd_indexes
 from repro.indexes.dr_index import DRIndex
 from repro.indexes.er_grid import ERGrid
 from repro.indexes.pivots import PivotSelectionConfig, PivotTable, select_pivots
-from repro.metrics.timing import (
-    STAGE_CDD_SELECTION,
-    STAGE_ER,
-    STAGE_IMPUTATION,
-    BreakupCost,
-    StageTimer,
-)
+from repro.metrics.timing import BreakupCost, StageTimer, now
+from repro.persistence import load_checkpoint, save_checkpoint
+from repro.runtime.checkpoint import engine_state_to_dict, restore_engine_state
+from repro.runtime.context import RuntimeContext
+from repro.runtime.executors import Executor, SerialExecutor
+from repro.runtime.pipeline import Pipeline
 
 
 @dataclass
@@ -74,6 +81,12 @@ class TERiDSEngine:
         Pre-mined CDD rules; mined from ``repository`` when omitted.
     discovery_config / pivot_config:
         Knobs for the offline rule mining and pivot selection.
+    executor:
+        Scheduling strategy for the online phase.  Defaults to
+        :class:`~repro.runtime.executors.SerialExecutor` (the paper's
+        tuple-at-a-time semantics); pass a
+        :class:`~repro.runtime.executors.MicroBatchExecutor` for batched
+        ingestion with identical match sets and higher throughput.
     """
 
     def __init__(
@@ -83,10 +96,12 @@ class TERiDSEngine:
         rules: Optional[Sequence[CDDRule]] = None,
         discovery_config: Optional[CDDDiscoveryConfig] = None,
         pivot_config: Optional[PivotSelectionConfig] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.repository = repository
         self.config = config
         self.schema: Schema = config.schema
+        self.discovery_config = discovery_config
 
         # ---- pre-computation phase (Algorithm 1, lines 1-6) ----
         self.pivot_config = pivot_config or PivotSelectionConfig(
@@ -94,171 +109,173 @@ class TERiDSEngine:
             min_entropy=config.min_entropy,
             max_pivots=config.max_pivots,
         )
-        self.pivots: PivotTable = select_pivots(repository, self.pivot_config)
-        self.rules: List[CDDRule] = list(
+        pivots = select_pivots(repository, self.pivot_config)
+        mined: List[CDDRule] = list(
             rules if rules is not None
             else discover_cdd_rules(repository, discovery_config))
-        self.cdd_indexes: Dict[str, CDDIndex] = build_cdd_indexes(
-            self.rules, self.schema, self.pivots)
-        self.dr_index = DRIndex(repository, self.pivots, keywords=config.keywords)
-        self.grid = ERGrid(self.schema, cells_per_dim=config.grid_cells_per_dim)
+        dr_index = DRIndex(repository, pivots, keywords=config.keywords)
 
-        self.imputer = CDDImputer(
+        # ---- runtime wiring (context + pipeline + executor) ----
+        self.ctx = RuntimeContext(
+            config=config,
             repository=repository,
-            rules=self.rules,
-            sample_retriever=self.dr_index.make_retriever(),
+            pivots=pivots,
+            rules=mined,
+            cdd_indexes=build_cdd_indexes(mined, self.schema, pivots),
+            dr_index=dr_index,
+            grid=ERGrid(self.schema, cells_per_dim=config.grid_cells_per_dim),
+            imputer=CDDImputer(
+                repository=repository,
+                rules=mined,
+                sample_retriever=dr_index.make_retriever(),
+            ),
         )
+        self.pipeline = Pipeline(self.ctx)
+        self.executor: Executor = executor if executor is not None else SerialExecutor()
 
-        # ---- online state ----
-        self.windows: Dict[str, SlidingWindow] = {}
-        self.result_set = EntityResultSet()
-        self.pruning = PruningPipeline(
-            keywords=config.keywords,
-            gamma=config.gamma,
-            alpha=config.alpha,
-            use_topic=config.use_topic_pruning,
-            use_similarity=config.use_similarity_pruning,
-            use_probability=config.use_probability_pruning,
-            use_instance=config.use_instance_pruning,
-        )
-        self.timer = StageTimer()
-        self.timestamps_processed = 0
+    # ------------------------------------------------------------------
+    # state passthroughs (historical attribute names of the monolith)
+    # ------------------------------------------------------------------
+    @property
+    def pivots(self) -> PivotTable:
+        return self.ctx.pivots
+
+    @property
+    def rules(self) -> List[CDDRule]:
+        return self.ctx.rules
+
+    @rules.setter
+    def rules(self, rules: List[CDDRule]) -> None:
+        self.ctx.rules = rules
+
+    @property
+    def cdd_indexes(self) -> Dict[str, CDDIndex]:
+        return self.ctx.cdd_indexes
+
+    @cdd_indexes.setter
+    def cdd_indexes(self, indexes: Dict[str, CDDIndex]) -> None:
+        self.ctx.cdd_indexes = indexes
+
+    @property
+    def dr_index(self) -> DRIndex:
+        return self.ctx.dr_index
+
+    @property
+    def grid(self) -> ERGrid:
+        return self.ctx.grid
+
+    @property
+    def imputer(self) -> CDDImputer:
+        return self.ctx.imputer
+
+    @imputer.setter
+    def imputer(self, imputer: CDDImputer) -> None:
+        self.ctx.imputer = imputer
+
+    @property
+    def windows(self) -> Dict[str, SlidingWindow]:
+        return self.ctx.windows
+
+    @property
+    def result_set(self) -> EntityResultSet:
+        return self.ctx.result_set
+
+    @property
+    def pruning(self) -> PruningPipeline:
+        return self.ctx.pruning
+
+    @property
+    def timer(self) -> StageTimer:
+        return self.ctx.timer
+
+    @property
+    def timestamps_processed(self) -> int:
+        return self.ctx.timestamps_processed
+
+    @timestamps_processed.setter
+    def timestamps_processed(self, value: int) -> None:
+        self.ctx.timestamps_processed = value
 
     # ------------------------------------------------------------------
     # online processing
     # ------------------------------------------------------------------
-    def _window_for(self, source: str) -> SlidingWindow:
-        window = self.windows.get(source)
-        if window is None:
-            window = SlidingWindow(capacity=self.config.window_size)
-            self.windows[source] = window
-        return window
-
-    def _select_rules(self, record: Record) -> Dict[str, List[CDDRule]]:
-        """Online CDD selection via the CDD-indexes (one entry per missing attr)."""
-        selected: Dict[str, List[CDDRule]] = {}
-        for attribute in record.missing_attributes(self.schema):
-            index = self.cdd_indexes.get(attribute)
-            if index is None:
-                selected[attribute] = []
-            else:
-                selected[attribute] = index.candidate_rules(record)
-        return selected
-
-    def _impute(self, record: Record,
-                selected_rules: Dict[str, List[CDDRule]]) -> ImputedRecord:
-        """Impute the record's missing attributes with the selected rules."""
-        missing = record.missing_attributes(self.schema)
-        if not missing:
-            return ImputedRecord.from_complete(record, self.schema)
-        candidates: Dict[str, Dict[str, float]] = {}
-        for attribute in missing:
-            rules = selected_rules.get(attribute, [])
-            if not rules:
-                self.imputer.stats.attributes_unimputable += 1
-                continue
-            scoped = CDDImputer(
-                repository=self.repository,
-                rules=rules,
-                max_candidates_per_sample=self.imputer.max_candidates_per_sample,
-                max_rules_per_attribute=self.imputer.max_rules_per_attribute,
-                max_candidate_values=self.imputer.max_candidate_values,
-                sample_retriever=self.imputer.sample_retriever,
-            )
-            distribution = scoped.candidate_distribution(record, attribute)
-            self.imputer.stats.merge(scoped.stats)
-            if distribution:
-                candidates[attribute] = distribution
-                self.imputer.stats.attributes_imputed += 1
-            else:
-                self.imputer.stats.attributes_unimputable += 1
-        self.imputer.stats.records_imputed += 1
-        return ImputedRecord(base=record, schema=self.schema, candidates=candidates)
-
-    def _expire_if_needed(self, source: str) -> Optional[RecordSynopsis]:
-        """Evict the oldest tuple of a full window before a new insertion."""
-        window = self._window_for(source)
-        if not window.is_full:
-            return None
-        # SlidingWindow.insert would evict automatically; we peek the oldest
-        # tuple explicitly so the grid and the result set stay consistent.
-        oldest = window.items()[0]
-        self.grid.remove(oldest.record.rid, oldest.record.source)
-        self.result_set.remove_record(oldest.record.rid, oldest.record.source)
-        return oldest
-
     def process(self, record: Record) -> List[MatchPair]:
         """Process one newly arriving (possibly incomplete) tuple.
 
         Returns the match pairs discovered for this tuple at this timestamp.
         """
-        self.timestamps_processed += 1
-        source = record.source
-        self._expire_if_needed(source)
+        return self.executor.process_batch(self.pipeline, [record])[0]
 
-        # --- online CDD selection (index access, Figure 6 stage 1) ---
-        with self.timer.measure(STAGE_CDD_SELECTION):
-            selected_rules = self._select_rules(record)
+    def process_batch(self, records: Sequence[Record]) -> List[MatchPair]:
+        """Process a micro-batch of arriving tuples (in arrival order).
 
-        # --- online imputation (Figure 6 stage 2) ---
-        with self.timer.measure(STAGE_IMPUTATION):
-            imputed = self._impute(record, selected_rules)
-            synopsis = RecordSynopsis.build(imputed, self.pivots,
-                                            self.config.keywords)
-
-        # --- online topic-aware ER (Figure 6 stage 3) ---
-        new_pairs: List[MatchPair] = []
-        with self.timer.measure(STAGE_ER):
-            # Keywords are deliberately NOT pushed down to the grid here: the
-            # topic-keyword pruning is applied (and counted) by the pruning
-            # pipeline so that the Figure 4 pruning-power report attributes
-            # eliminated pairs to the right strategy.  The grid still prunes
-            # cells with the converted-space distance bound.
-            candidates = self.grid.candidate_synopses(
-                synopsis,
-                gamma=self.config.gamma,
-                keywords=frozenset(),
-                exclude_source=source,
-            )
-            for candidate in candidates:
-                is_match, probability = self.pruning.evaluate_pair(synopsis, candidate)
-                if is_match:
-                    pair = MatchPair(
-                        left_rid=record.rid,
-                        left_source=record.source,
-                        right_rid=candidate.record.rid,
-                        right_source=candidate.record.source,
-                        probability=probability,
-                        timestamp=record.timestamp,
-                    )
-                    new_pairs.append(pair)
-                    self.result_set.add(pair)
-
-            # Register the new tuple in the window and the grid.
-            window = self._window_for(source)
-            window.insert(synopsis)
-            self.grid.insert(synopsis)
-
-        return new_pairs
+        Returns the concatenated match pairs discovered for the batch, in
+        arrival order — exactly what ``process`` would have returned tuple
+        by tuple.  How much of the work is amortised across the batch is the
+        executor's business.
+        """
+        per_record = self.executor.process_batch(self.pipeline, list(records))
+        matches: List[MatchPair] = []
+        for pairs in per_record:
+            matches.extend(pairs)
+        return matches
 
     def run(self, records: Iterable[Record]) -> EngineReport:
         """Process a whole (interleaved) record sequence and report statistics."""
-        import time as _time
-
-        start = _time.perf_counter()
+        start = now()
         all_matches: List[MatchPair] = []
-        for record in records:
-            all_matches.extend(self.process(record))
-        total = _time.perf_counter() - start
+        batch_size = max(1, self.executor.batch_size)
+        if batch_size == 1:
+            for record in records:
+                all_matches.extend(self.process(record))
+        else:
+            batch: List[Record] = []
+            for record in records:
+                batch.append(record)
+                if len(batch) >= batch_size:
+                    all_matches.extend(self.process_batch(batch))
+                    batch = []
+            if batch:
+                all_matches.extend(self.process_batch(batch))
+        total = now() - start
         return EngineReport(
-            timestamps_processed=self.timestamps_processed,
+            timestamps_processed=self.ctx.timestamps_processed,
             matches=all_matches,
-            pruning_stats=self.pruning.stats,
-            imputation_stats=self.imputer.stats,
-            breakup_cost=BreakupCost.from_timer(self.timer,
-                                                self.timestamps_processed),
+            pruning_stats=self.ctx.pruning.stats,
+            imputation_stats=self.ctx.imputer.stats,
+            breakup_cost=BreakupCost.from_timer(self.ctx.timer,
+                                                self.ctx.timestamps_processed),
             total_seconds=total,
         )
+
+    def close(self) -> None:
+        """Release executor resources (e.g. the micro-batch process pool)."""
+        self.executor.close()
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """Snapshot the online state (windows, grid, result set, counters).
+
+        The offline substrates are not included: they are deterministic
+        functions of the repository and configuration, rebuilt by the
+        constructor.  Restore with :meth:`restore_checkpoint` on an engine
+        built over the same repository, configuration and rules.
+        """
+        return engine_state_to_dict(self.ctx)
+
+    def restore_checkpoint(self, state: Dict) -> None:
+        """Rebuild the online state from a :meth:`checkpoint` snapshot."""
+        restore_engine_state(self.ctx, state)
+
+    def save_checkpoint(self, path) -> None:
+        """Write a :meth:`checkpoint` snapshot to a JSON file."""
+        save_checkpoint(self.checkpoint(), path)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore the online state from a file written by :meth:`save_checkpoint`."""
+        self.restore_checkpoint(load_checkpoint(path))
 
     # ------------------------------------------------------------------
     # dynamic repository maintenance (Section 5.5)
@@ -267,20 +284,40 @@ class TERiDSEngine:
                                remine_rules: bool = False) -> None:
         """Extend the repository with new complete samples.
 
-        The DR-index is updated incrementally; CDD rules and CDD-indexes are
-        re-mined only when ``remine_rules`` is set (the incremental rule
+        The repository and the DR-index are updated incrementally (the
+        repository mutation is explicit, not a side effect of the index
+        insert, so re-mining always sees the extended ``R``); CDD rules and
+        CDD-indexes are re-mined only when ``remine_rules`` is set, reusing
+        the engine's original discovery configuration (the incremental rule
         maintenance of Section 5.5 is approximated by re-mining, which is
-        exact though more expensive).
+        exact though more expensive).  Accumulated imputation statistics and
+        the batch-level candidate cache survive the swap.
         """
+        added = False
         for sample in samples:
-            self.dr_index.insert_sample(sample)
+            self.repository.add_sample(sample)
+            self.dr_index.index_sample(sample)
+            added = True
+        if added and self.ctx.imputer.candidate_cache is not None:
+            # Cache keys embed the domain size, so entries for attributes
+            # whose domain grew can never be hit again — drop everything
+            # rather than strand them.
+            self.ctx.imputer.candidate_cache.clear()
         if remine_rules:
-            self.rules = discover_cdd_rules(self.repository)
-            self.cdd_indexes = build_cdd_indexes(self.rules, self.schema, self.pivots)
-            self.imputer = CDDImputer(
+            self.ctx.rules = discover_cdd_rules(self.repository,
+                                                self.discovery_config)
+            self.ctx.cdd_indexes = build_cdd_indexes(self.ctx.rules,
+                                                     self.schema, self.pivots)
+            previous = self.ctx.imputer
+            self.ctx.imputer = CDDImputer(
                 repository=self.repository,
-                rules=self.rules,
+                rules=self.ctx.rules,
+                max_candidates_per_sample=previous.max_candidates_per_sample,
+                max_rules_per_attribute=previous.max_rules_per_attribute,
+                max_candidate_values=previous.max_candidate_values,
                 sample_retriever=self.dr_index.make_retriever(),
+                stats=previous.stats,
+                candidate_cache=previous.candidate_cache,
             )
 
     # ------------------------------------------------------------------
@@ -288,12 +325,13 @@ class TERiDSEngine:
     # ------------------------------------------------------------------
     def current_matches(self) -> List[MatchPair]:
         """Snapshot of the maintained entity result set ``ES``."""
-        return self.result_set.pairs()
+        return self.ctx.result_set.pairs()
 
     def breakup_cost(self) -> BreakupCost:
         """Average per-timestamp break-up cost accumulated so far."""
-        return BreakupCost.from_timer(self.timer, self.timestamps_processed)
+        return BreakupCost.from_timer(self.ctx.timer,
+                                      self.ctx.timestamps_processed)
 
     def pruning_power(self) -> Dict[str, float]:
         """Per-strategy pruning power accumulated so far (Figure 4)."""
-        return self.pruning.stats.pruning_power()
+        return self.ctx.pruning.stats.pruning_power()

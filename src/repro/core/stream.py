@@ -74,6 +74,19 @@ class IncompleteDataStream:
             self.incomplete_emitted += 1
         return stamped
 
+    def next_batch(self, count: int) -> List[Record]:
+        """Emit up to ``count`` records (fewer when the stream runs dry).
+
+        The micro-batch runtime ingests tuples in batches; this is the
+        single-stream primitive behind :meth:`StreamSet.interleaved_batches`.
+        """
+        if count <= 0:
+            raise ValueError(f"batch size must be positive, got {count}")
+        batch: List[Record] = []
+        while len(batch) < count and not self.exhausted:
+            batch.append(self.next_record())
+        return batch
+
     def reset(self) -> None:
         """Rewind the stream to its first record."""
         self._cursor = 0
@@ -181,6 +194,25 @@ class StreamSet:
                 if not stream.exhausted:
                     active = True
                     yield stream.next_record()
+
+    def interleaved_batches(self, batch_size: int) -> Iterator[List[Record]]:
+        """Round-robin interleaving chunked into micro-batches.
+
+        Emits the same record sequence as :meth:`interleaved`, grouped into
+        lists of ``batch_size`` records (the final batch may be shorter).
+        Feeding these batches to ``TERiDSEngine.process_batch`` is equivalent
+        to processing the interleaved sequence tuple by tuple.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        batch: List[Record] = []
+        for record in self.interleaved():
+            batch.append(record)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
     def total_records(self) -> int:
         """Total number of records across all streams."""

@@ -8,7 +8,6 @@ and accuracy against the workload's topic-aware ground truth.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -23,6 +22,7 @@ from repro.core.engine import TERiDSEngine
 from repro.core.matching import MatchPair
 from repro.datasets.synthetic import Workload, generate_dataset
 from repro.metrics.accuracy import AccuracyReport, evaluate_matches
+from repro.runtime.executors import Executor
 
 
 @dataclass
@@ -75,10 +75,20 @@ def default_config(workload: Workload, window_size: int = 50,
     )
 
 
-def run_ter_ids(workload: Workload, config: TERiDSConfig) -> MethodResult:
-    """Run the full TER-iDS engine over one workload."""
-    engine = TERiDSEngine(repository=workload.repository, config=config)
-    report = engine.run(workload.interleaved_records())
+def run_ter_ids(workload: Workload, config: TERiDSConfig,
+                executor: Optional[Executor] = None) -> MethodResult:
+    """Run the full TER-iDS engine over one workload.
+
+    ``executor`` selects the runtime scheduling strategy (serial by
+    default; pass a ``MicroBatchExecutor`` for batched ingestion — the
+    match sets are identical, only the throughput changes).
+    """
+    engine = TERiDSEngine(repository=workload.repository, config=config,
+                          executor=executor)
+    try:
+        report = engine.run(workload.interleaved_records())
+    finally:
+        engine.close()
     accuracy = evaluate_matches(report.matches, workload.ground_truth)
     return MethodResult(
         method=METHOD_TER_IDS,
@@ -112,11 +122,11 @@ def run_baseline_method(method: str, workload: Workload,
     )
 
 
-def run_method(method: str, workload: Workload,
-               config: TERiDSConfig) -> MethodResult:
+def run_method(method: str, workload: Workload, config: TERiDSConfig,
+               executor: Optional[Executor] = None) -> MethodResult:
     """Run either TER-iDS or one of the baselines by name."""
     if method == METHOD_TER_IDS:
-        return run_ter_ids(workload, config)
+        return run_ter_ids(workload, config, executor=executor)
     return run_baseline_method(method, workload, config)
 
 

@@ -19,7 +19,7 @@ baseline comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, MutableMapping, Optional, Sequence, Tuple
 
 from repro.core.similarity import text_distance
 from repro.core.tuples import ImputedRecord, Record, Schema
@@ -141,6 +141,15 @@ class CDDImputer:
     sample_retriever:
         Optional pluggable sample-retrieval hook (the index join supplies a
         DR-index-backed retriever; the default scans ``R``).
+    candidate_cache:
+        Optional mutable mapping memoising ``cand(s[A_j])`` computations
+        across records.  ``candidate_set_for_sample`` depends only on the
+        sample value, the attribute domain and the rule's dependent interval,
+        so its results can be shared between all records of a micro-batch
+        (and across batches).  The cache key includes the domain size, which
+        only grows (the repository is append-only), so stale hits are
+        impossible.  ``None`` (the default) disables memoisation and keeps
+        the single-tuple engine's exact seed behaviour.
     """
 
     repository: DataRepository
@@ -150,6 +159,7 @@ class CDDImputer:
     max_candidate_values: int = 16
     sample_retriever: Optional[SampleRetriever] = None
     stats: ImputationStats = field(default_factory=ImputationStats)
+    candidate_cache: Optional[MutableMapping] = field(default=None, repr=False)
     _rules_by_dependent: Dict[str, List[CDDRule]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -161,13 +171,32 @@ class CDDImputer:
         }
 
     # -- rule selection -------------------------------------------------------
-    def rules_for(self, record: Record, attribute: str) -> List[CDDRule]:
-        """Applicable rules for one missing attribute, tightest first."""
-        available = self._rules_by_dependent.get(attribute, [])
-        self.stats.rules_considered += len(available)
-        applicable = [rule for rule in available
+    def _filter_ranked(self, record: Record, attribute: str,
+                       ranked: Sequence[CDDRule]) -> List[CDDRule]:
+        """Shared tail of rule selection: count, check applicability, cap."""
+        self.stats.rules_considered += len(ranked)
+        applicable = [rule for rule in ranked
                       if rule.applicable_to(record, attribute)]
         return applicable[: self.max_rules_per_attribute]
+
+    def rules_for(self, record: Record, attribute: str) -> List[CDDRule]:
+        """Applicable rules for one missing attribute, tightest first."""
+        return self._filter_ranked(record, attribute,
+                                   self._rules_by_dependent.get(attribute, []))
+
+    def scoped_rules_for(self, record: Record, attribute: str,
+                         rules: Sequence[CDDRule]) -> List[CDDRule]:
+        """Rank and filter an externally selected rule set for one attribute.
+
+        Mirrors :meth:`rules_for` exactly (same ordering key, same counters,
+        same applicability filter and cap), but over a caller-supplied rule
+        set — e.g. the output of a CDD-index probe — instead of the imputer's
+        own rules.  This is what lets the engine impute with index-selected
+        rules without instantiating a throwaway scoped imputer per attribute.
+        """
+        ranked = sorted((rule for rule in rules if rule.dependent == attribute),
+                        key=lambda rule: (rule.dependent_width, -rule.support))
+        return self._filter_ranked(record, attribute, ranked)
 
     # -- sample retrieval -------------------------------------------------------
     def _samples_for_rule(self, record: Record, rule: CDDRule) -> Sequence[Record]:
@@ -185,14 +214,42 @@ class CDDImputer:
         self.stats.samples_matched += len(matched)
         return matched
 
+    def _candidate_set(self, sample_value: str, attribute: str,
+                       domain: Sequence[str], rule: CDDRule) -> List[str]:
+        """``cand(s[A_j])`` with optional cross-record memoisation."""
+        if self.candidate_cache is None:
+            return candidate_set_for_sample(sample_value, domain,
+                                            rule.dependent_interval,
+                                            self.max_candidates_per_sample)
+        key = (attribute, sample_value, rule.dependent_interval,
+               self.max_candidates_per_sample, len(domain))
+        cached = self.candidate_cache.get(key)
+        if cached is None:
+            cached = candidate_set_for_sample(sample_value, domain,
+                                              rule.dependent_interval,
+                                              self.max_candidates_per_sample)
+            self.candidate_cache[key] = cached
+        return cached
+
     # -- imputation --------------------------------------------------------------
-    def candidate_distribution(self, record: Record,
-                               attribute: str) -> Dict[str, float]:
-        """Equation (4) candidate distribution for one missing attribute."""
-        rules = self.rules_for(record, attribute)
+    def candidate_distribution(self, record: Record, attribute: str,
+                               rules: Optional[Sequence[CDDRule]] = None,
+                               ) -> Dict[str, float]:
+        """Equation (4) candidate distribution for one missing attribute.
+
+        When ``rules`` is given (e.g. the output of an online CDD-index
+        probe) it overrides the imputer's own rule selection; the override is
+        ranked / filtered identically to the internal path, so the resulting
+        distribution is bit-identical to running a scoped imputer built from
+        those rules.
+        """
+        if rules is None:
+            selected = self.rules_for(record, attribute)
+        else:
+            selected = self.scoped_rules_for(record, attribute, rules)
         domain = self.repository.domain(attribute)
         per_rule: List[Dict[str, int]] = []
-        for rule in rules:
+        for rule in selected:
             samples = self.matching_samples(record, rule)
             if not samples:
                 continue
@@ -201,9 +258,8 @@ class CDDImputer:
                 sample_value = sample[attribute]
                 if sample_value is None:
                     continue
-                for value in candidate_set_for_sample(
-                        sample_value, domain, rule.dependent_interval,
-                        self.max_candidates_per_sample):
+                for value in self._candidate_set(sample_value, attribute,
+                                                 domain, rule):
                     frequencies[value] = frequencies.get(value, 0) + 1
             if frequencies:
                 per_rule.append(frequencies)
@@ -241,11 +297,15 @@ class SingleCDDImputer(CDDImputer):
     work; it is implemented here for the multi-vs-single CDD ablation bench.
     """
 
-    def candidate_distribution(self, record: Record,
-                               attribute: str) -> Dict[str, float]:
-        rules = self.rules_for(record, attribute)
+    def candidate_distribution(self, record: Record, attribute: str,
+                               rules: Optional[Sequence[CDDRule]] = None,
+                               ) -> Dict[str, float]:
+        if rules is None:
+            selected = self.rules_for(record, attribute)
+        else:
+            selected = self.scoped_rules_for(record, attribute, rules)
         domain = self.repository.domain(attribute)
-        for rule in rules:
+        for rule in selected:
             samples = self.matching_samples(record, rule)
             if not samples:
                 continue
@@ -254,9 +314,8 @@ class SingleCDDImputer(CDDImputer):
                 sample_value = sample[attribute]
                 if sample_value is None:
                     continue
-                for value in candidate_set_for_sample(
-                        sample_value, domain, rule.dependent_interval,
-                        self.max_candidates_per_sample):
+                for value in self._candidate_set(sample_value, attribute,
+                                                 domain, rule):
                     frequencies[value] = frequencies.get(value, 0) + 1
             if frequencies:
                 self.stats.rules_applied += 1

@@ -136,10 +136,19 @@ class DRIndex:
         return aggregate.keywords if aggregate else frozenset()
 
     # -- dynamic maintenance (Section 5.5) ----------------------------------------
+    def index_sample(self, sample: Record) -> None:
+        """Index one sample that is *already* part of the repository.
+
+        Use when the caller owns the repository mutation (e.g. the engine's
+        ``add_repository_samples``, which adds the sample to ``R`` explicitly
+        and then indexes it); :meth:`insert_sample` does both in one call.
+        """
+        self._tree.insert_point(self._sample_point(sample), sample)
+
     def insert_sample(self, sample: Record) -> None:
         """Add one new complete sample to both the repository and the index."""
         self.repository.add_sample(sample)
-        self._tree.insert_point(self._sample_point(sample), sample)
+        self.index_sample(sample)
 
     # -- queries --------------------------------------------------------------------
     def query_rect_for_rule(self, record: Record,

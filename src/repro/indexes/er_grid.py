@@ -129,6 +129,27 @@ class ERGrid:
         width = 1.0 / self.cells_per_dim
         return [(index * width, (index + 1) * width) for index in coordinates]
 
+    def home_cell(self, synopsis: RecordSynopsis) -> Tuple[int, ...]:
+        """Anchor cell of a synopsis: the cell of its rectangle's min corner."""
+        return tuple(self._bucket(low)
+                     for low, _ in synopsis.coordinate_rectangle())
+
+    def region_of(self, synopsis: RecordSynopsis, regions: int) -> int:
+        """Deterministic region id in ``[0, regions)`` for one synopsis.
+
+        The grid space is partitioned by the synopsis' home cell, so tuples
+        that land in the same neighbourhood share a region.  The micro-batch
+        executor uses this hook to shard candidate-pair refinement work
+        across a process pool; any other sharded deployment (per-region
+        workers, per-region grids) can reuse the same partitioning.
+        """
+        if regions <= 1:
+            return 0
+        value = 0
+        for coordinate in self.home_cell(synopsis):
+            value = value * self.cells_per_dim + coordinate
+        return value % regions
+
     # -- maintenance ----------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._synopses)

@@ -18,7 +18,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
 from repro.core.matching import MatchPair
-from repro.core.tuples import Record, Schema
+from repro.core.tuples import ImputedRecord, Record, Schema
 from repro.imputation.cdd import (
     CONSTRAINT_CONSTANT,
     CONSTRAINT_INTERVAL,
@@ -50,6 +50,30 @@ def record_from_dict(data: Dict) -> Record:
     return Record(rid=data["rid"], values=data.get("values", {}),
                   source=data.get("source", "stream-0"),
                   timestamp=data.get("timestamp", -1))
+
+
+def imputed_record_to_dict(record: ImputedRecord) -> Dict:
+    """Serialise an imputed record (base tuple + candidate distributions).
+
+    The enumerated instances are *not* persisted: they are a deterministic
+    function of the candidate distributions and are re-derived lazily after
+    :func:`imputed_record_from_dict`.
+    """
+    return {
+        "base": record_to_dict(record.base),
+        "candidates": {attribute: dict(distribution)
+                       for attribute, distribution in record.candidates.items()},
+    }
+
+
+def imputed_record_from_dict(data: Dict, schema: Schema) -> ImputedRecord:
+    """Inverse of :func:`imputed_record_to_dict`."""
+    return ImputedRecord(
+        base=record_from_dict(data["base"]),
+        schema=schema,
+        candidates={attribute: dict(distribution)
+                    for attribute, distribution in data.get("candidates", {}).items()},
+    )
 
 
 def repository_to_dict(repository: DataRepository) -> Dict:
@@ -189,6 +213,35 @@ def load_matches(path: PathLike) -> List[MatchPair]:
     """Read match pairs written by :func:`save_matches`."""
     payload = json.loads(Path(path).read_text())
     return [match_from_dict(row) for row in payload.get("matches", [])]
+
+
+# ---------------------------------------------------------------------------
+# Engine checkpoints
+# ---------------------------------------------------------------------------
+CHECKPOINT_FORMAT = "ter-ids-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(state: Dict, path: PathLike) -> None:
+    """Write an engine-state checkpoint (see ``repro.runtime.checkpoint``).
+
+    The state dict is produced by ``TERiDSEngine.checkpoint()``; this helper
+    only wraps it in a format/version envelope and writes JSON.
+    """
+    payload = {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION,
+               "state": state}
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_checkpoint(path: PathLike) -> Dict:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path} is not a TER-iDS checkpoint")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {payload.get('version')!r}")
+    return payload["state"]
 
 
 def save_repository(repository: DataRepository, path: PathLike) -> None:

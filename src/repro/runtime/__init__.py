@@ -1,0 +1,47 @@
+"""The staged TER-iDS streaming runtime.
+
+Decomposes the online operator (Algorithm 2) into independently schedulable
+stages over a shared :class:`~repro.runtime.context.RuntimeContext`, a
+:class:`~repro.runtime.pipeline.Pipeline` composing them, and pluggable
+:class:`~repro.runtime.executors.Executor` strategies — the seed-faithful
+:class:`~repro.runtime.executors.SerialExecutor` and the amortising
+:class:`~repro.runtime.executors.MicroBatchExecutor` (optionally fanned out
+to a process pool sharded by ER-grid region).  Checkpoint / restore of the
+online state lives in :mod:`repro.runtime.checkpoint`.
+"""
+
+from repro.runtime.checkpoint import engine_state_to_dict, restore_engine_state
+from repro.runtime.context import RuntimeContext
+from repro.runtime.evaluation import evaluate_pair_cached, instance_profiles
+from repro.runtime.executors import Executor, MicroBatchExecutor, SerialExecutor
+from repro.runtime.pipeline import Pipeline
+from repro.runtime.stages import (
+    CandidateLookupStage,
+    ImputationStage,
+    MaintenanceStage,
+    MatchingStage,
+    RuleSelectionStage,
+    Stage,
+    SynopsisStage,
+    TupleTask,
+)
+
+__all__ = [
+    "CandidateLookupStage",
+    "Executor",
+    "ImputationStage",
+    "MaintenanceStage",
+    "MatchingStage",
+    "MicroBatchExecutor",
+    "Pipeline",
+    "RuleSelectionStage",
+    "RuntimeContext",
+    "SerialExecutor",
+    "Stage",
+    "SynopsisStage",
+    "TupleTask",
+    "engine_state_to_dict",
+    "evaluate_pair_cached",
+    "instance_profiles",
+    "restore_engine_state",
+]

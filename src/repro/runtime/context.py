@@ -1,0 +1,87 @@
+"""Shared mutable state of the staged TER-iDS runtime.
+
+The :class:`RuntimeContext` owns everything the online operator reads or
+writes — the offline substrates built in the pre-computation phase (pivot
+table, CDD rules and indexes, DR-index, imputer) and the online state
+(per-stream sliding windows, ER-grid, entity result set, pruning pipeline,
+stage timer, timestamp counter).  Stages receive the context at construction
+time and mutate it; executors schedule stages; the
+:class:`~repro.core.engine.TERiDSEngine` facade exposes the context's fields
+under their historical attribute names.
+
+Keeping the state in one object (instead of scattered over the engine) is
+what makes checkpoint/restore and alternative executors possible without the
+engine knowing about either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import TERiDSConfig
+from repro.core.matching import EntityResultSet
+from repro.core.pruning import PruningPipeline
+from repro.core.stream import SlidingWindow
+from repro.core.tuples import Schema
+from repro.imputation.cdd import CDDRule
+from repro.imputation.imputer import CDDImputer
+from repro.imputation.repository import DataRepository
+from repro.indexes.cdd_index import CDDIndex
+from repro.indexes.dr_index import DRIndex
+from repro.indexes.er_grid import ERGrid
+from repro.indexes.pivots import PivotTable
+from repro.metrics.timing import StageTimer
+
+
+@dataclass
+class RuntimeContext:
+    """All state shared by the pipeline stages of one TER-iDS operator."""
+
+    config: TERiDSConfig
+    repository: DataRepository
+    pivots: PivotTable
+    rules: List[CDDRule]
+    cdd_indexes: Dict[str, CDDIndex]
+    dr_index: DRIndex
+    grid: ERGrid
+    imputer: CDDImputer
+    windows: Dict[str, SlidingWindow] = field(default_factory=dict)
+    result_set: EntityResultSet = field(default_factory=EntityResultSet)
+    pruning: Optional[PruningPipeline] = None
+    timer: StageTimer = field(default_factory=StageTimer)
+    timestamps_processed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pruning is None:
+            config = self.config
+            self.pruning = PruningPipeline(
+                keywords=config.keywords,
+                gamma=config.gamma,
+                alpha=config.alpha,
+                use_topic=config.use_topic_pruning,
+                use_similarity=config.use_similarity_pruning,
+                use_probability=config.use_probability_pruning,
+                use_instance=config.use_instance_pruning,
+            )
+
+    @property
+    def schema(self) -> Schema:
+        return self.config.schema
+
+    def window_for(self, source: str) -> SlidingWindow:
+        """The sliding window of one stream, created on first use."""
+        window = self.windows.get(source)
+        if window is None:
+            window = SlidingWindow(capacity=self.config.window_size)
+            self.windows[source] = window
+        return window
+
+    def clear_online_state(self) -> None:
+        """Drop every window, grid entry and reported pair (keep substrates)."""
+        self.windows.clear()
+        self.result_set.clear()
+        grid = self.grid
+        for synopsis in grid.synopses():
+            grid.remove(synopsis.rid, synopsis.source)
+        self.timestamps_processed = 0

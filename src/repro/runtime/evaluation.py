@@ -1,0 +1,204 @@
+"""Cached, batch-friendly candidate-pair evaluation.
+
+The refinement step (Theorem 4.4 / Equation (2)) dominates the online cost:
+for every surviving candidate pair it enumerates instance pairs, and for
+every instance pair the seed engine re-derives the instance's token sets and
+topic flag from scratch.  A tuple stays in its window for ``w`` arrivals and
+is evaluated against many queries, so that per-instance work is recomputed
+hundreds of times.
+
+This module memoises an :class:`InstanceProfile` per instance — existence
+probability, per-attribute token sets in schema order, topic flag — directly
+on the :class:`~repro.core.pruning.RecordSynopsis`, and re-implements the
+exact refinement loops over the cached profiles.  Every floating-point
+accumulation replicates the seed's operation order, so verdicts and
+probabilities are bit-identical to
+:func:`repro.core.matching.ter_ids_probability_with_cutoff` /
+:func:`repro.core.matching.ter_ids_probability`; only the redundant work is
+gone.
+
+The module-level :func:`evaluate_partition` is the unit of work the
+micro-batch executor ships to a ``concurrent.futures`` process pool when
+batch partitions are fanned out by ER-grid region.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.core.pruning import (
+    PruningStats,
+    RecordSynopsis,
+    probability_prune,
+    similarity_prune,
+    topic_keyword_prune,
+)
+from repro.core.similarity import jaccard_similarity
+
+#: Attribute under which profiles are cached on a synopsis.  The cache is
+#: keyed by the keyword set so a synopsis shared between differently
+#: configured operators can never leak a stale topic flag.
+_PROFILE_ATTR = "_runtime_instance_profiles"
+
+#: One cached instance: (probability, per-attribute token sets, topic flag).
+InstanceProfile = Tuple[float, Tuple[frozenset, ...], bool]
+
+
+def instance_profiles(synopsis: RecordSynopsis,
+                      keywords: FrozenSet[str]) -> List[InstanceProfile]:
+    """Per-instance cached profiles of one synopsis (built lazily once)."""
+    cached = getattr(synopsis, _PROFILE_ATTR, None)
+    if cached is not None and cached[0] == keywords:
+        return cached[1]
+    schema = synopsis.record.schema
+    profiles: List[InstanceProfile] = []
+    for instance in synopsis.record.instances():
+        record = instance.record
+        tokens = tuple(record.tokens(name) for name in schema)
+        if keywords:
+            union: set = set()
+            for token_set in tokens:
+                union |= token_set
+            has_topic = any(keyword in union for keyword in keywords)
+        else:
+            has_topic = False
+        profiles.append((instance.probability, tokens, has_topic))
+    setattr(synopsis, _PROFILE_ATTR, (keywords, profiles))
+    return profiles
+
+
+def _profile_pair_matches(left: InstanceProfile, right: InstanceProfile,
+                          has_keywords: bool, gamma: float) -> bool:
+    """χ(...) over cached profiles; replicates ``instance_pair_matches``."""
+    if has_keywords and not (left[2] or right[2]):
+        return False
+    left_tokens = left[1]
+    right_tokens = right[1]
+    similarity = 0.0
+    for index in range(len(left_tokens)):
+        similarity += jaccard_similarity(left_tokens[index], right_tokens[index])
+    return similarity > gamma
+
+
+def cutoff_probability(lefts: Sequence[InstanceProfile],
+                       rights: Sequence[InstanceProfile],
+                       has_keywords: bool, gamma: float,
+                       alpha: float) -> Tuple[float, bool, int]:
+    """Theorem 4.4 early-terminating Eq. (2) over cached profiles.
+
+    Bit-identical to ``ter_ids_probability_with_cutoff``: same
+    descending-probability visit order (stable sort over the same instance
+    enumeration), same accumulation order, same bounds.
+    """
+    lefts = sorted(lefts, key=lambda profile: -profile[0])
+    rights = sorted(rights, key=lambda profile: -profile[0])
+    matched_mass = 0.0
+    explored_mass = 0.0
+    pairs_checked = 0
+    for left in lefts:
+        left_probability = left[0]
+        for right in rights:
+            pair_mass = left_probability * right[0]
+            if _profile_pair_matches(left, right, has_keywords, gamma):
+                matched_mass += pair_mass
+            explored_mass += pair_mass
+            pairs_checked += 1
+            if matched_mass > alpha:
+                return matched_mass, True, pairs_checked
+            upper_bound = matched_mass + max(0.0, 1.0 - explored_mass)
+            if upper_bound <= alpha:
+                return upper_bound, False, pairs_checked
+    return matched_mass, matched_mass > alpha, pairs_checked
+
+
+def exact_probability(lefts: Sequence[InstanceProfile],
+                      rights: Sequence[InstanceProfile],
+                      has_keywords: bool, gamma: float) -> float:
+    """Exact Eq. (2) over cached profiles (``ter_ids_probability`` twin)."""
+    total = 0.0
+    for left in lefts:
+        left_probability = left[0]
+        for right in rights:
+            if _profile_pair_matches(left, right, has_keywords, gamma):
+                total += left_probability * right[0]
+    return total
+
+
+def evaluate_pair_cached(left: RecordSynopsis, right: RecordSynopsis,
+                         keywords: FrozenSet[str], gamma: float, alpha: float,
+                         use_topic: bool, use_similarity: bool,
+                         use_probability: bool, use_instance: bool,
+                         stats: PruningStats) -> Tuple[bool, float]:
+    """Profile-cached twin of ``PruningPipeline.evaluate_pair``.
+
+    Applies the four strategies in the paper's order with identical
+    counters; the refinement runs over the cached instance profiles instead
+    of re-deriving token sets per instance pair.
+    """
+    stats.pairs_considered += 1
+
+    if use_topic and topic_keyword_prune(left, right, keywords):
+        stats.pruned_by_topic += 1
+        return False, 0.0
+
+    if use_similarity and similarity_prune(left, right, gamma):
+        stats.pruned_by_similarity += 1
+        return False, 0.0
+
+    if use_probability and probability_prune(left, right, gamma, alpha):
+        stats.pruned_by_probability += 1
+        return False, 0.0
+
+    left_profiles = instance_profiles(left, keywords)
+    right_profiles = instance_profiles(right, keywords)
+    has_keywords = bool(keywords)
+    if use_instance:
+        probability, is_match, pairs_checked = cutoff_probability(
+            left_profiles, right_profiles, has_keywords, gamma, alpha)
+        total_pairs = len(left_profiles) * len(right_profiles)
+        if not is_match and pairs_checked < total_pairs:
+            stats.pruned_by_instance += 1
+            return False, probability
+    else:
+        probability = exact_probability(left_profiles, right_profiles,
+                                        has_keywords, gamma)
+        is_match = probability > alpha
+
+    if is_match:
+        stats.refined_matches += 1
+    else:
+        stats.refined_non_matches += 1
+    return is_match, probability
+
+
+# ---------------------------------------------------------------------------
+# Process-pool partition worker
+# ---------------------------------------------------------------------------
+#: One shippable unit: (query synopsis, its candidate synopses).
+PartitionItem = Tuple[RecordSynopsis, List[RecordSynopsis]]
+
+
+def evaluate_partition(items: Sequence[PartitionItem],
+                       keywords: FrozenSet[str], gamma: float, alpha: float,
+                       use_topic: bool, use_similarity: bool,
+                       use_probability: bool, use_instance: bool,
+                       ) -> Tuple[List[List[Tuple[bool, float]]], PruningStats]:
+    """Evaluate one grid-region partition of a micro-batch.
+
+    Runs in a worker process; returns, per item, the ``(is_match,
+    probability)`` verdict of each candidate (in candidate order) plus the
+    pruning counters accumulated by the partition, which the executor merges
+    back into the shared :class:`PruningStats`.
+    """
+    stats = PruningStats()
+    results: List[List[Tuple[bool, float]]] = []
+    for query, candidates in items:
+        verdicts: List[Tuple[bool, float]] = []
+        for candidate in candidates:
+            verdicts.append(evaluate_pair_cached(
+                query, candidate, keywords=keywords, gamma=gamma, alpha=alpha,
+                use_topic=use_topic, use_similarity=use_similarity,
+                use_probability=use_probability, use_instance=use_instance,
+                stats=stats))
+        results.append(verdicts)
+    return results, stats

@@ -1,0 +1,81 @@
+"""Composition of the TER-iDS pipeline stages.
+
+A :class:`Pipeline` wires the six stages of Algorithm 2 over one shared
+:class:`~repro.runtime.context.RuntimeContext` and provides the seed-exact
+per-tuple path (:meth:`process_one`) that the
+:class:`~repro.runtime.executors.SerialExecutor` drives.  Batch scheduling
+lives in :class:`~repro.runtime.executors.MicroBatchExecutor`, which calls
+the same stage objects with different interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.matching import MatchPair
+from repro.core.tuples import Record
+from repro.metrics.timing import (
+    STAGE_CDD_SELECTION,
+    STAGE_ER,
+    STAGE_IMPUTATION,
+)
+from repro.runtime.context import RuntimeContext
+from repro.runtime.stages import (
+    CandidateLookupStage,
+    ImputationStage,
+    MaintenanceStage,
+    MatchingStage,
+    RuleSelectionStage,
+    Stage,
+    SynopsisStage,
+    TupleTask,
+)
+
+
+class Pipeline:
+    """The staged online operator over one runtime context."""
+
+    def __init__(self, ctx: RuntimeContext) -> None:
+        self.ctx = ctx
+        self.rule_selection = RuleSelectionStage(ctx)
+        self.imputation = ImputationStage(ctx)
+        self.synopsis = SynopsisStage(ctx)
+        self.candidates = CandidateLookupStage(ctx)
+        self.matching = MatchingStage(ctx)
+        self.maintenance = MaintenanceStage(ctx)
+
+    @property
+    def stages(self) -> Tuple[Stage, ...]:
+        """The stages in dataflow order (rule selection → maintenance)."""
+        return (self.rule_selection, self.imputation, self.synopsis,
+                self.candidates, self.matching, self.maintenance)
+
+    def process_one(self, record: Record) -> List[MatchPair]:
+        """Process one arriving tuple with the seed engine's exact sequence.
+
+        Stage order, timer scopes and result-set update interleaving all
+        mirror the original monolithic ``TERiDSEngine.process``, so the
+        serial path is bit-identical to the seed (match sets *and* pruning /
+        imputation / timing counters).
+        """
+        ctx = self.ctx
+        ctx.timestamps_processed += 1
+        task = TupleTask(record=record)
+        self.maintenance.expire(record.source)
+
+        # --- online CDD selection (index access, Figure 6 stage 1) ---
+        with ctx.timer.measure(STAGE_CDD_SELECTION):
+            task.selected_rules = self.rule_selection.select(record)
+
+        # --- online imputation (Figure 6 stage 2) ---
+        with ctx.timer.measure(STAGE_IMPUTATION):
+            task.imputed = self.imputation.impute(record, task.selected_rules)
+            task.synopsis = self.synopsis.build(task.imputed)
+
+        # --- online topic-aware ER (Figure 6 stage 3) ---
+        with ctx.timer.measure(STAGE_ER):
+            task.candidates = self.candidates.lookup(task.synopsis)
+            self.matching.evaluate_serial(task)
+            self.maintenance.insert(task.synopsis)
+
+        return task.matches

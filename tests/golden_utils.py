@@ -1,0 +1,106 @@
+"""Golden-fixture helpers for the runtime regression tests.
+
+The JSON files under ``tests/data/`` pin the exact match sets (and the
+pruning / imputation counters) produced by the *seed* single-tuple engine on
+fixed synthetic workloads.  The staged runtime's ``SerialExecutor`` must
+reproduce them bit-identically; the ``MicroBatchExecutor`` must reproduce the
+match sets (counters may be accumulated in a different grouping but end up
+identical too, which the tests also assert).
+
+Regenerate (only when the *intended* semantics change) with::
+
+    PYTHONPATH=src python tests/golden_utils.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import TERiDSConfig
+from repro.core.engine import TERiDSEngine
+from repro.datasets.synthetic import generate_dataset
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: The pinned workloads: (dataset, scale, seed, window_size).
+GOLDEN_WORKLOADS = (
+    ("citations", 0.5, 7, 40),
+    ("anime", 0.5, 5, 30),
+)
+
+
+def golden_path(dataset: str) -> Path:
+    return DATA_DIR / f"golden_{dataset}.json"
+
+
+def build_workload(dataset: str, scale: float, seed: int):
+    return generate_dataset(dataset, missing_rate=0.3, scale=scale, seed=seed)
+
+
+def build_config(workload, window_size: int) -> TERiDSConfig:
+    return TERiDSConfig(
+        schema=workload.schema,
+        keywords=workload.keywords,
+        alpha=0.5,
+        similarity_ratio=0.5,
+        window_size=window_size,
+    )
+
+
+def canonical_matches(matches) -> list:
+    """Order-independent, probability-exact canonical form of a match list."""
+    rows = [
+        {
+            "left": [pair.left_source, pair.left_rid],
+            "right": [pair.right_source, pair.right_rid],
+            "probability": pair.probability,
+            "timestamp": pair.timestamp,
+        }
+        for pair in matches
+    ]
+    rows.sort(key=lambda row: (row["left"], row["right"], row["timestamp"]))
+    return rows
+
+
+def run_reference(engine_factory, workload, config) -> dict:
+    """Run one engine over a workload and canonicalise the observable output."""
+    engine = engine_factory(repository=workload.repository, config=config)
+    report = engine.run(workload.interleaved_records())
+    return {
+        "timestamps_processed": report.timestamps_processed,
+        "matches": canonical_matches(report.matches),
+        "result_set": canonical_matches(engine.current_matches()),
+        "pruning_stats": {
+            "pairs_considered": report.pruning_stats.pairs_considered,
+            "pruned_by_topic": report.pruning_stats.pruned_by_topic,
+            "pruned_by_similarity": report.pruning_stats.pruned_by_similarity,
+            "pruned_by_probability": report.pruning_stats.pruned_by_probability,
+            "pruned_by_instance": report.pruning_stats.pruned_by_instance,
+            "refined_matches": report.pruning_stats.refined_matches,
+            "refined_non_matches": report.pruning_stats.refined_non_matches,
+        },
+        "imputation_stats": report.imputation_stats.as_dict(),
+    }
+
+
+def generate_goldens() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    for dataset, scale, seed, window in GOLDEN_WORKLOADS:
+        workload = build_workload(dataset, scale, seed)
+        config = build_config(workload, window)
+        payload = {
+            "dataset": dataset,
+            "scale": scale,
+            "seed": seed,
+            "window_size": window,
+            "reference": run_reference(TERiDSEngine, workload, config),
+        }
+        path = golden_path(dataset)
+        path.write_text(json.dumps(payload, indent=2))
+        print(f"wrote {path} "
+              f"({len(payload['reference']['matches'])} matches)")
+
+
+if __name__ == "__main__":
+    generate_goldens()
