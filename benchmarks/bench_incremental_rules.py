@@ -1,0 +1,147 @@
+"""Incremental vs full-re-mine rule maintenance (the Section 5.5 bench).
+
+Builds a repository of >= 1k complete samples, holds out a tail of "future"
+samples, and feeds them back in fixed-size update batches through two
+engines: one in ``full`` maintenance mode (every update triggers an exact
+re-mine via ``add_repository_samples(..., remine_rules=True)``) and one in
+``incremental`` mode (sketch-based maintenance).  The full path pays
+O(repository) pair work per update; the incremental path is bounded by the
+``max_update_pairs`` budget — O(batch) — so the per-update cost gap widens
+with the repository.  The acceptance bar is >= 5x mean speedup.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_rules.py
+
+or under pytest-benchmark::
+
+    python -m pytest benchmarks/bench_incremental_rules.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import TERiDSConfig  # noqa: E402
+from repro.core.engine import TERiDSEngine  # noqa: E402
+from repro.datasets.synthetic import generate_dataset  # noqa: E402
+from repro.experiments.harness import format_rows  # noqa: E402
+from repro.imputation.cdd import (  # noqa: E402
+    MAINTENANCE_FULL,
+    MAINTENANCE_INCREMENTAL,
+    CDDDiscoveryConfig,
+)
+from repro.imputation.repository import DataRepository  # noqa: E402
+from repro.metrics.timing import now  # noqa: E402
+
+BENCH_DATASET = "songs"
+BENCH_SCALE = 3.0  # repository >= 1k samples at repository_ratio=1.0
+BENCH_SEED = 7
+UPDATE_BATCH = 16
+UPDATE_ROUNDS = 3
+SPEEDUP_TARGET = 5.0
+
+
+def _build_setup():
+    workload = generate_dataset(BENCH_DATASET, missing_rate=0.3,
+                                scale=BENCH_SCALE, seed=BENCH_SEED,
+                                repository_ratio=1.0)
+    samples = list(workload.repository.samples)
+    holdout_size = UPDATE_BATCH * UPDATE_ROUNDS
+    base = samples[:-holdout_size]
+    holdout = samples[-holdout_size:]
+    config = TERiDSConfig(schema=workload.schema, keywords=workload.keywords,
+                          window_size=50)
+    return workload, config, base, holdout
+
+
+def _engine(workload, config, base, mode) -> TERiDSEngine:
+    return TERiDSEngine(
+        repository=DataRepository(schema=workload.schema, samples=list(base)),
+        config=config,
+        discovery_config=CDDDiscoveryConfig(maintenance_mode=mode),
+    )
+
+
+def _time_updates(engine: TERiDSEngine, holdout, remine: bool) -> List[float]:
+    timings = []
+    for round_index in range(UPDATE_ROUNDS):
+        batch = holdout[round_index * UPDATE_BATCH:
+                        (round_index + 1) * UPDATE_BATCH]
+        start = now()
+        engine.add_repository_samples(batch, remine_rules=remine)
+        timings.append(now() - start)
+    return timings
+
+
+def run_bench() -> List[Dict[str, object]]:
+    """Time ``add_repository_samples`` in both maintenance modes."""
+    workload, config, base, holdout = _build_setup()
+    full_engine = _engine(workload, config, base, MAINTENANCE_FULL)
+    incremental_engine = _engine(workload, config, base,
+                                 MAINTENANCE_INCREMENTAL)
+
+    full_times = _time_updates(full_engine, holdout, remine=True)
+    incremental_times = _time_updates(incremental_engine, holdout,
+                                      remine=False)
+
+    rows: List[Dict[str, object]] = []
+    for index, (full_s, inc_s) in enumerate(zip(full_times,
+                                                incremental_times)):
+        rows.append({
+            "update": index + 1,
+            "repository_size": len(base) + (index + 1) * UPDATE_BATCH,
+            "batch": UPDATE_BATCH,
+            "full_remine_sec": round(full_s, 4),
+            "incremental_sec": round(inc_s, 4),
+            "speedup": round(full_s / inc_s, 2) if inc_s > 0 else float("inf"),
+        })
+    mean_full = sum(full_times) / len(full_times)
+    mean_incremental = sum(incremental_times) / len(incremental_times)
+    rows.append({
+        "update": "mean",
+        "repository_size": len(full_engine.repository),
+        "batch": UPDATE_BATCH,
+        "full_remine_sec": round(mean_full, 4),
+        "incremental_sec": round(mean_incremental, 4),
+        "speedup": round(mean_full / mean_incremental, 2),
+        "rules_full": len(full_engine.rules),
+        "rules_incremental": len(incremental_engine.rules),
+        "drift": round(incremental_engine.rule_maintainer.drift, 4),
+    })
+    return rows
+
+
+def test_incremental_rule_maintenance(benchmark):
+    """pytest-benchmark entry point (one sweep, speedup bar asserted)."""
+    rows = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    print("\n=== rule maintenance: full re-mine vs incremental ===")
+    print(format_rows(rows))
+    assert rows[-1]["repository_size"] >= 1000
+    assert rows[-1]["speedup"] >= SPEEDUP_TARGET
+
+
+def main() -> int:
+    rows = run_bench()
+    print(f"=== rule maintenance: full re-mine vs incremental "
+          f"({BENCH_DATASET}, scale={BENCH_SCALE}, "
+          f"batch={UPDATE_BATCH}) ===")
+    print(format_rows(rows))
+    mean_row = rows[-1]
+    print(f"\nrepository: {mean_row['repository_size']} samples; "
+          f"mean speedup: {mean_row['speedup']}x "
+          f"(target: >= {SPEEDUP_TARGET}x)")
+    if mean_row["repository_size"] < 1000:
+        print("FAIL: repository below the 1k-sample bar")
+        return 1
+    return 0 if mean_row["speedup"] >= SPEEDUP_TARGET else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

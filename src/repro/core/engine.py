@@ -37,8 +37,14 @@ from repro.core.matching import EntityResultSet, MatchPair
 from repro.core.pruning import PruningPipeline, PruningStats
 from repro.core.stream import SlidingWindow
 from repro.core.tuples import Record, Schema
-from repro.imputation.cdd import CDDDiscoveryConfig, CDDRule, discover_cdd_rules
+from repro.imputation.cdd import (
+    MAINTENANCE_FULL,
+    CDDDiscoveryConfig,
+    CDDRule,
+    discover_cdd_rules,
+)
 from repro.imputation.imputer import CDDImputer, ImputationStats
+from repro.imputation.incremental import IncrementalRuleMaintainer
 from repro.imputation.repository import DataRepository
 from repro.indexes.cdd_index import CDDIndex, build_cdd_indexes
 from repro.indexes.dr_index import DRIndex
@@ -110,9 +116,19 @@ class TERiDSEngine:
             max_pivots=config.max_pivots,
         )
         pivots = select_pivots(repository, self.pivot_config)
-        mined: List[CDDRule] = list(
-            rules if rules is not None
-            else discover_cdd_rules(repository, discovery_config))
+        maintenance_mode = (discovery_config.maintenance_mode
+                            if discovery_config is not None else MAINTENANCE_FULL)
+        maintainer: Optional[IncrementalRuleMaintainer] = None
+        if rules is not None:
+            # Pre-mined rules bypass the maintainer: its sketches are only
+            # meaningful for rules it derived from the repository itself.
+            mined: List[CDDRule] = list(rules)
+        elif maintenance_mode != MAINTENANCE_FULL:
+            maintainer = IncrementalRuleMaintainer(discovery_config,
+                                                   config.schema)
+            mined = maintainer.initialize(repository)
+        else:
+            mined = list(discover_cdd_rules(repository, discovery_config))
         dr_index = DRIndex(repository, pivots, keywords=config.keywords)
 
         # ---- runtime wiring (context + pipeline + executor) ----
@@ -129,6 +145,8 @@ class TERiDSEngine:
                 rules=mined,
                 sample_retriever=dr_index.make_retriever(),
             ),
+            discovery_config=discovery_config,
+            rule_maintainer=maintainer,
         )
         self.pipeline = Pipeline(self.ctx)
         self.executor: Executor = executor if executor is not None else SerialExecutor()
@@ -171,6 +189,10 @@ class TERiDSEngine:
     @imputer.setter
     def imputer(self, imputer: CDDImputer) -> None:
         self.ctx.imputer = imputer
+
+    @property
+    def rule_maintainer(self) -> Optional[IncrementalRuleMaintainer]:
+        return self.ctx.rule_maintainer
 
     @property
     def windows(self) -> Dict[str, SlidingWindow]:
@@ -281,44 +303,22 @@ class TERiDSEngine:
     # dynamic repository maintenance (Section 5.5)
     # ------------------------------------------------------------------
     def add_repository_samples(self, samples: Iterable[Record],
-                               remine_rules: bool = False) -> None:
-        """Extend the repository with new complete samples.
+                               remine_rules: bool = False):
+        """Extend the repository with new complete samples (Section 5.5).
 
-        The repository and the DR-index are updated incrementally (the
-        repository mutation is explicit, not a side effect of the index
-        insert, so re-mining always sees the extended ``R``); CDD rules and
-        CDD-indexes are re-mined only when ``remine_rules`` is set, reusing
-        the engine's original discovery configuration (the incremental rule
-        maintenance of Section 5.5 is approximated by re-mining, which is
-        exact though more expensive).  Accumulated imputation statistics and
-        the batch-level candidate cache survive the swap.
+        Delegates to the runtime's
+        :meth:`~repro.runtime.stages.MaintenanceStage.absorb_repository_samples`:
+        the repository and the DR-index always grow; the CDD rules evolve
+        according to the discovery configuration's maintenance mode (``full``
+        re-mines only when ``remine_rules`` is set; ``incremental`` /
+        ``hybrid`` fold the batch into the rule maintainer's sketches in
+        O(batch)).  Accumulated imputation statistics and the batch-level
+        candidate cache survive every rule swap.  Returns the maintainer's
+        :class:`~repro.imputation.incremental.MaintenanceReport` (``None``
+        in ``full`` mode).
         """
-        added = False
-        for sample in samples:
-            self.repository.add_sample(sample)
-            self.dr_index.index_sample(sample)
-            added = True
-        if added and self.ctx.imputer.candidate_cache is not None:
-            # Cache keys embed the domain size, so entries for attributes
-            # whose domain grew can never be hit again — drop everything
-            # rather than strand them.
-            self.ctx.imputer.candidate_cache.clear()
-        if remine_rules:
-            self.ctx.rules = discover_cdd_rules(self.repository,
-                                                self.discovery_config)
-            self.ctx.cdd_indexes = build_cdd_indexes(self.ctx.rules,
-                                                     self.schema, self.pivots)
-            previous = self.ctx.imputer
-            self.ctx.imputer = CDDImputer(
-                repository=self.repository,
-                rules=self.ctx.rules,
-                max_candidates_per_sample=previous.max_candidates_per_sample,
-                max_rules_per_attribute=previous.max_rules_per_attribute,
-                max_candidate_values=previous.max_candidate_values,
-                sample_retriever=self.dr_index.make_retriever(),
-                stats=previous.stats,
-                candidate_cache=previous.candidate_cache,
-            )
+        return self.pipeline.maintenance.absorb_repository_samples(
+            list(samples), remine_rules=remine_rules)
 
     # ------------------------------------------------------------------
     # reporting helpers

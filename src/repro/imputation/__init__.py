@@ -1,6 +1,10 @@
 """Imputation subsystem: data repository, dependency rules and imputers."""
 
 from repro.imputation.cdd import (
+    MAINTENANCE_FULL,
+    MAINTENANCE_HYBRID,
+    MAINTENANCE_INCREMENTAL,
+    MAINTENANCE_MODES,
     AttributeConstraint,
     CDDDiscoveryConfig,
     CDDRule,
@@ -27,9 +31,19 @@ from repro.imputation.imputer import (
     combine_frequencies,
     make_dd_imputer,
 )
+from repro.imputation.incremental import (
+    IncrementalRuleMaintainer,
+    MaintenanceReport,
+    RuleCounters,
+    widen_interval,
+)
 from repro.imputation.repository import DataRepository, RepositoryError
 
 __all__ = [
+    "MAINTENANCE_FULL",
+    "MAINTENANCE_HYBRID",
+    "MAINTENANCE_INCREMENTAL",
+    "MAINTENANCE_MODES",
     "AttributeConstraint",
     "CDDDiscoveryConfig",
     "CDDRule",
@@ -40,10 +54,14 @@ __all__ = [
     "EditingRule",
     "EditingRuleImputer",
     "ImputationStats",
+    "IncrementalRuleMaintainer",
+    "MaintenanceReport",
     "RepositoryError",
+    "RuleCounters",
     "SingleCDDImputer",
     "StreamConstraintImputer",
     "combine_frequencies",
+    "widen_interval",
     "dd_rules_as_cdds",
     "discover_cdd_rules",
     "discover_dd_rules",

@@ -32,6 +32,21 @@ CONSTRAINT_INTERVAL = "interval"
 CONSTRAINT_CONSTANT = "constant"
 CONSTRAINT_MISSING = "missing"
 
+#: Rule-maintenance modes for the evolving repository (Section 5.5).
+#:
+#: * ``full`` — ``add_repository_samples`` never touches the rules unless a
+#:   re-mine is requested explicitly; a re-mine runs the full miner (exact).
+#: * ``incremental`` — every repository extension updates the rules through
+#:   the :class:`~repro.imputation.incremental.IncrementalRuleMaintainer`
+#:   sufficient statistics (O(batch), never O(repository)).
+#: * ``hybrid`` — incremental updates, plus an automatic full re-mine when
+#:   the maintainer's drift estimate exceeds ``drift_threshold``.
+MAINTENANCE_FULL = "full"
+MAINTENANCE_INCREMENTAL = "incremental"
+MAINTENANCE_HYBRID = "hybrid"
+MAINTENANCE_MODES = (MAINTENANCE_FULL, MAINTENANCE_INCREMENTAL,
+                     MAINTENANCE_HYBRID)
+
 #: Distance bands examined when mining interval constraints.  Each band is a
 #: candidate ``[ε_min, ε_max]`` on the determinant attribute.
 DEFAULT_DISTANCE_BANDS: Tuple[Tuple[float, float], ...] = (
@@ -191,7 +206,34 @@ class CDDRule:
 
 @dataclass(frozen=True)
 class CDDDiscoveryConfig:
-    """Knobs of the CDD mining procedure."""
+    """Knobs of the CDD mining procedure and of rule maintenance.
+
+    The first block parameterises the offline miner
+    (:func:`discover_cdd_rules`); the ``maintenance_*`` block parameterises
+    how rules evolve when the repository absorbs new samples
+    (:class:`~repro.imputation.incremental.IncrementalRuleMaintainer`):
+
+    maintenance_mode:
+        ``full`` (default, re-mine on request only), ``incremental``
+        (sketch-based O(batch) updates) or ``hybrid`` (incremental with an
+        automatic full re-mine once ``drift_threshold`` is exceeded).
+    min_confidence:
+        Rules whose observed pair confidence (support over support plus
+        violations) falls below this are retired by the maintainer.
+    drift_threshold:
+        Upper bound on the maintainer's divergence estimate (skipped-pair
+        coverage gap + violation mass + deferred-promotion pressure) before
+        ``hybrid`` mode schedules a full re-mine.
+    pending_pool_size:
+        Maximum number of candidate rules promoted from the pending pool per
+        update; excess candidates stay pending for later updates.
+    max_update_pairs:
+        Pair budget of one incremental update (new-sample x repository
+        pairs); pairs beyond the budget are skipped and counted as drift.
+    max_group_pairs_per_sample:
+        Cap on the existing group members a new sample is paired with when
+        maintaining one constant-condition group's dependent-distance range.
+    """
 
     max_dependent_width: float = 0.6
     min_support: int = 2
@@ -201,6 +243,34 @@ class CDDDiscoveryConfig:
     combine_determinants: bool = True
     max_combined_rules: int = 200
     seed: int = 13
+    maintenance_mode: str = MAINTENANCE_FULL
+    min_confidence: float = 0.5
+    drift_threshold: float = 0.35
+    pending_pool_size: int = 64
+    max_update_pairs: int = 4000
+    max_group_pairs_per_sample: int = 64
+
+    def __post_init__(self) -> None:
+        if self.maintenance_mode not in MAINTENANCE_MODES:
+            raise RuleError(
+                f"unknown maintenance mode {self.maintenance_mode!r}; "
+                f"expected one of {MAINTENANCE_MODES}")
+        if not 0.0 < self.min_confidence <= 1.0:
+            raise RuleError(
+                f"min_confidence must be in (0, 1], got {self.min_confidence}")
+        if self.drift_threshold <= 0.0:
+            raise RuleError(
+                f"drift_threshold must be positive, got {self.drift_threshold}")
+        if self.pending_pool_size < 1:
+            raise RuleError(
+                f"pending_pool_size must be >= 1, got {self.pending_pool_size}")
+        if self.max_update_pairs < 1:
+            raise RuleError(
+                f"max_update_pairs must be >= 1, got {self.max_update_pairs}")
+        if self.max_group_pairs_per_sample < 1:
+            raise RuleError(
+                "max_group_pairs_per_sample must be >= 1, "
+                f"got {self.max_group_pairs_per_sample}")
 
 
 def _sample_pairs(count: int, max_pairs: int, seed: int) -> List[Tuple[int, int]]:
@@ -217,6 +287,74 @@ def _sample_pairs(count: int, max_pairs: int, seed: int) -> List[Tuple[int, int]
             continue
         pairs.add((min(i, j), max(i, j)))
     return sorted(pairs)
+
+
+def interval_rule_from_band(
+    determinant: str,
+    dependent: str,
+    band: Tuple[float, float],
+    support: int,
+    dep_low: float,
+    dep_high: float,
+    config: CDDDiscoveryConfig,
+) -> Optional[CDDRule]:
+    """Emission decision of the interval miner from a band's statistics.
+
+    Shared between :func:`discover_cdd_rules` and the incremental maintainer
+    (:mod:`repro.imputation.incremental`), so the two paths can never
+    disagree on when a band qualifies or how the rule is rendered.
+    """
+    if support < config.min_support:
+        return None
+    if dep_high - dep_low > config.max_dependent_width:
+        return None
+    low, high = band
+    constraint = AttributeConstraint(attribute=determinant,
+                                     kind=CONSTRAINT_INTERVAL,
+                                     interval=band)
+    return CDDRule(
+        determinants=(constraint,),
+        dependent=dependent,
+        dependent_interval=(dep_low, min(1.0, dep_high)),
+        support=support,
+        rule_id=f"cdd:{determinant}->{dependent}:band[{low:.2f},{high:.2f}]",
+    )
+
+
+def constant_rule_from_group(
+    determinant: str,
+    value: str,
+    group_size: int,
+    dependent: str,
+    dep_low: float,
+    dep_high: float,
+    config: CDDDiscoveryConfig,
+) -> Optional[CDDRule]:
+    """Emission decision of the constant-condition miner from group stats.
+
+    ``group_size`` is the number of repository samples taking the constant
+    ``value``; ``dep_low``/``dep_high`` bound the dependent-attribute
+    distances over the group's sample pairs.  Shared with the incremental
+    maintainer like :func:`interval_rule_from_band`.
+    """
+    if group_size < config.min_support:
+        return None
+    if dep_high - dep_low > config.max_dependent_width:
+        return None
+    constraint = AttributeConstraint(attribute=determinant,
+                                     kind=CONSTRAINT_CONSTANT,
+                                     constant=value)
+    # The full constant value keeps the id unique: rule ids key the
+    # incremental maintainer's counters / retirement / promotion state, so
+    # two distinct constants must never share an id (a truncated prefix
+    # would conflate them and retire both when one dependency breaks).
+    return CDDRule(
+        determinants=(constraint,),
+        dependent=dependent,
+        dependent_interval=(dep_low, min(1.0, dep_high)),
+        support=group_size,
+        rule_id=f"cdd:{determinant}={value}->{dependent}",
+    )
 
 
 def _mine_interval_rules(
@@ -238,22 +376,16 @@ def _mine_interval_rules(
             if low - 1e-9 <= det_distance <= high + 1e-9:
                 dependent_distances.append(
                     text_distance(left[dependent], right[dependent]))
-        if len(dependent_distances) < config.min_support:
+        if not dependent_distances:
             continue
-        dep_low = min(dependent_distances)
-        dep_high = max(dependent_distances)
-        if dep_high - dep_low > config.max_dependent_width:
-            continue
-        constraint = AttributeConstraint(attribute=determinant,
-                                         kind=CONSTRAINT_INTERVAL,
-                                         interval=band)
-        rules.append(CDDRule(
-            determinants=(constraint,),
-            dependent=dependent,
-            dependent_interval=(dep_low, min(1.0, dep_high)),
+        rule = interval_rule_from_band(
+            determinant, dependent, band,
             support=len(dependent_distances),
-            rule_id=f"cdd:{determinant}->{dependent}:band[{low:.2f},{high:.2f}]",
-        ))
+            dep_low=min(dependent_distances),
+            dep_high=max(dependent_distances),
+            config=config)
+        if rule is not None:
+            rules.append(rule)
     return rules
 
 
@@ -279,19 +411,11 @@ def _mine_constant_rules(
         ]
         if not distances:
             continue
-        dep_low, dep_high = min(distances), max(distances)
-        if dep_high - dep_low > config.max_dependent_width:
-            continue
-        constraint = AttributeConstraint(attribute=determinant,
-                                         kind=CONSTRAINT_CONSTANT,
-                                         constant=value)
-        rules.append(CDDRule(
-            determinants=(constraint,),
-            dependent=dependent,
-            dependent_interval=(dep_low, min(1.0, dep_high)),
-            support=len(members),
-            rule_id=f"cdd:{determinant}={value[:12]}->{dependent}",
-        ))
+        rule = constant_rule_from_group(
+            determinant, value, len(members), dependent,
+            dep_low=min(distances), dep_high=max(distances), config=config)
+        if rule is not None:
+            rules.append(rule)
     return rules
 
 

@@ -163,12 +163,26 @@ class CDDImputer:
     _rules_by_dependent: Dict[str, List[CDDRule]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        self._regroup_rules()
+
+    def _regroup_rules(self) -> None:
         grouped = group_rules_by_dependent(self.rules)
         self._rules_by_dependent = {
             attribute: sorted(rules, key=lambda rule: (rule.dependent_width,
                                                        -rule.support))
             for attribute, rules in grouped.items()
         }
+
+    def set_rules(self, rules: Sequence[CDDRule]) -> None:
+        """Swap the rule set in place (Section 5.5 rule maintenance).
+
+        Keeps the imputer object — and with it the accumulated statistics,
+        the candidate cache and the sample retriever — so callers that hold
+        a reference (the runtime context, the engine facade) observe the new
+        rules without any rewiring.
+        """
+        self.rules = list(rules)
+        self._regroup_rules()
 
     # -- rule selection -------------------------------------------------------
     def _filter_ranked(self, record: Record, attribute: str,

@@ -41,6 +41,13 @@ class DataRepository:
     def __post_init__(self) -> None:
         existing = list(self.samples)
         self.samples = []
+        # Always rebuild the domain caches from scratch: a caller may hand us
+        # pre-populated caches (``dataclasses.replace`` copies them from the
+        # source repository), and re-adding the samples into shared or stale
+        # dicts would double-count domains — ``domain_size`` would then stay
+        # wrong forever, including after every later ``extend``.
+        self._domains = {}
+        self._domain_sets = {}
         for sample in existing:
             self.add_sample(sample)
 

@@ -40,7 +40,7 @@ def engine_state_to_dict(ctx: RuntimeContext) -> Dict:
         for source, window in sorted(ctx.windows.items())
     }
     pruning_stats = ctx.pruning.stats
-    return {
+    state = {
         "timestamps_processed": ctx.timestamps_processed,
         "windows": windows,
         "matches": [match_to_dict(pair) for pair in ctx.result_set.pairs()],
@@ -52,6 +52,14 @@ def engine_state_to_dict(ctx: RuntimeContext) -> Dict:
         "grid_counters": {"cells_examined": ctx.grid.cells_examined,
                           "tuples_examined": ctx.grid.tuples_examined},
     }
+    if ctx.rule_maintainer is not None:
+        # Incremental rule maintenance (Section 5.5): unlike the other
+        # offline substrates, the maintained rules are NOT a deterministic
+        # function of repository + config alone (pending-pool promotions and
+        # confidence retirements depend on the update history), so the
+        # maintainer's sufficient statistics ride along in the checkpoint.
+        state["rule_maintainer"] = ctx.rule_maintainer.state_to_dict()
+    return state
 
 
 def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
@@ -109,5 +117,21 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
     grid_counters = state.get("grid_counters", {})
     ctx.grid.cells_examined = grid_counters.get("cells_examined", 0)
     ctx.grid.tuples_examined = grid_counters.get("tuples_examined", 0)
+
+    maintainer_state = state.get("rule_maintainer")
+    if maintainer_state is not None:
+        if ctx.rule_maintainer is None:
+            # Dropping the maintained rules would silently resume with the
+            # construction-time rule set — different imputations, no error.
+            raise ValueError(
+                "checkpoint carries incremental rule-maintainer state but "
+                "this engine was built without incremental maintenance; "
+                "construct it with a CDDDiscoveryConfig whose "
+                "maintenance_mode is 'incremental' or 'hybrid'")
+        # Restore the maintainer's sufficient statistics and reinstall the
+        # regenerated rules (indexes + imputer grouping) so a resumed stream
+        # imputes exactly like the checkpointed one.  The context must hold
+        # the same extended repository the snapshot was taken over.
+        ctx.install_rules(ctx.rule_maintainer.restore_state(maintainer_state))
 
     ctx.timestamps_processed = state.get("timestamps_processed", 0)

@@ -24,8 +24,9 @@ from repro.core.matching import EntityResultSet
 from repro.core.pruning import PruningPipeline
 from repro.core.stream import SlidingWindow
 from repro.core.tuples import Schema
-from repro.imputation.cdd import CDDRule
+from repro.imputation.cdd import CDDDiscoveryConfig, CDDRule
 from repro.imputation.imputer import CDDImputer
+from repro.imputation.incremental import IncrementalRuleMaintainer
 from repro.imputation.repository import DataRepository
 from repro.indexes.cdd_index import CDDIndex
 from repro.indexes.dr_index import DRIndex
@@ -51,6 +52,12 @@ class RuntimeContext:
     pruning: Optional[PruningPipeline] = None
     timer: StageTimer = field(default_factory=StageTimer)
     timestamps_processed: int = 0
+    #: Rule-mining knobs used for re-mines of the evolving repository; the
+    #: maintenance stage reads them when absorbing new samples.
+    discovery_config: Optional[CDDDiscoveryConfig] = None
+    #: Incremental rule maintainer (Section 5.5).  ``None`` in ``full``
+    #: maintenance mode, where rules only change through an explicit re-mine.
+    rule_maintainer: Optional[IncrementalRuleMaintainer] = None
 
     def __post_init__(self) -> None:
         if self.pruning is None:
@@ -68,6 +75,22 @@ class RuntimeContext:
     @property
     def schema(self) -> Schema:
         return self.config.schema
+
+    def install_rules(self, rules) -> None:
+        """Swap a new CDD rule set into the runtime (indexes + imputer).
+
+        The single authority for rule installation — live maintenance
+        (``MaintenanceStage``) and checkpoint restore both route through it,
+        so the two paths cannot drift apart.  The imputer object is kept
+        (statistics, candidate cache and DR-index retriever survive); only
+        the rule grouping and the per-attribute CDD-indexes are rebuilt.
+        """
+        from repro.indexes.cdd_index import build_cdd_indexes
+
+        self.rules = list(rules)
+        self.cdd_indexes = build_cdd_indexes(self.rules, self.schema,
+                                             self.pivots)
+        self.imputer.set_rules(self.rules)
 
     def window_for(self, source: str) -> SlidingWindow:
         """The sliding window of one stream, created on first use."""

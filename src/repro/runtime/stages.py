@@ -31,7 +31,8 @@ from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 from repro.core.matching import MatchPair
 from repro.core.pruning import RecordSynopsis
 from repro.core.tuples import ImputedRecord, Record
-from repro.imputation.cdd import CDDRule
+from repro.imputation.cdd import CDDRule, discover_cdd_rules
+from repro.imputation.incremental import MaintenanceReport
 from repro.runtime.context import RuntimeContext
 from repro.runtime.evaluation import evaluate_pair_cached
 
@@ -302,3 +303,53 @@ class MaintenanceStage:
         for task in tasks:
             self.expire(task.record.source)
             self.insert(task.synopsis)
+
+    # -- evolving repository (Section 5.5) -----------------------------------
+    def absorb_repository_samples(self, samples: Sequence[Record],
+                                  remine_rules: bool = False,
+                                  ) -> Optional[MaintenanceReport]:
+        """Extend the repository with complete samples and maintain the rules.
+
+        The repository and DR-index always grow; what happens to the CDD
+        rules depends on the discovery configuration's maintenance mode:
+
+        * ``full`` — rules are left alone unless ``remine_rules`` asks for a
+          full re-mine (the seed behaviour);
+        * ``incremental`` / ``hybrid`` — the
+          :class:`~repro.imputation.incremental.IncrementalRuleMaintainer`
+          folds the batch into its sketches and regenerates the rules in
+          O(batch); ``remine_rules`` forces an exact resynchronisation, and
+          ``hybrid`` triggers one itself when the drift estimate exceeds the
+          configured threshold.
+
+        Returns the maintainer's report (``None`` in ``full`` mode).
+        """
+        ctx = self.ctx
+        added: List[Record] = []
+        for sample in samples:
+            ctx.repository.add_sample(sample)
+            ctx.dr_index.index_sample(sample)
+            added.append(sample)
+        if added and ctx.imputer.candidate_cache is not None:
+            # Cache keys embed the domain size, so entries for attributes
+            # whose domain grew can never be hit again — drop everything
+            # rather than strand them.
+            ctx.imputer.candidate_cache.clear()
+
+        maintainer = ctx.rule_maintainer
+        if maintainer is None:
+            if remine_rules:
+                self.install_rules(discover_cdd_rules(ctx.repository,
+                                                      ctx.discovery_config))
+            return None
+        if not added and not remine_rules:
+            return None
+        report = maintainer.absorb(ctx.repository, added,
+                                   force_full=remine_rules)
+        if report.rules_changed:
+            self.install_rules(report.rules)
+        return report
+
+    def install_rules(self, rules: Sequence[CDDRule]) -> None:
+        """Swap a new rule set into the runtime (see ``RuntimeContext``)."""
+        self.ctx.install_rules(rules)

@@ -20,6 +20,8 @@ from pathlib import Path
 from repro.core.config import TERiDSConfig
 from repro.core.engine import TERiDSEngine
 from repro.datasets.synthetic import generate_dataset
+from repro.experiments.harness import run_evolving_stream, split_repository
+from repro.imputation.cdd import MAINTENANCE_INCREMENTAL, CDDDiscoveryConfig
 
 DATA_DIR = Path(__file__).resolve().parent / "data"
 
@@ -29,9 +31,25 @@ GOLDEN_WORKLOADS = (
     ("anime", 0.5, 5, 30),
 )
 
+#: The evolving-repository workload (Section 5.5): one pinned stream whose
+#: repository absorbs the held-out sample tail mid-stream, with the rules
+#: maintained incrementally.  (dataset, scale, seed, window_size).
+EVOLVING_WORKLOAD = ("citations", 0.5, 7, 40)
+EVOLVING_HOLDOUT_FRACTION = 0.3
+EVOLVING_PHASES = 3
+
 
 def golden_path(dataset: str) -> Path:
     return DATA_DIR / f"golden_{dataset}.json"
+
+
+def evolving_golden_path() -> Path:
+    return DATA_DIR / "golden_evolving_repo.json"
+
+
+def evolving_discovery_config() -> CDDDiscoveryConfig:
+    """Discovery config pinned by the evolving-repository golden fixture."""
+    return CDDDiscoveryConfig(maintenance_mode=MAINTENANCE_INCREMENTAL)
 
 
 def build_workload(dataset: str, scale: float, seed: int):
@@ -84,6 +102,30 @@ def run_reference(engine_factory, workload, config) -> dict:
     }
 
 
+def run_evolving_reference(engine_factory, workload, config) -> dict:
+    """Run the evolving-repository scenario and canonicalise the output.
+
+    The engine starts from the head of the workload repository; the held-out
+    tail is absorbed in tranches between stream phases (incremental rule
+    maintenance).  The maintained rule-id sequence is pinned alongside the
+    matches so executor-independence of the maintenance path is asserted
+    too.
+    """
+    base, holdout = split_repository(workload.repository,
+                                     EVOLVING_HOLDOUT_FRACTION)
+    engine = engine_factory(repository=base, config=config,
+                            discovery_config=evolving_discovery_config())
+    matches = run_evolving_stream(engine, workload.interleaved_records(),
+                                  holdout, phases=EVOLVING_PHASES)
+    return {
+        "timestamps_processed": engine.timestamps_processed,
+        "matches": canonical_matches(matches),
+        "result_set": canonical_matches(engine.current_matches()),
+        "rules": [rule.rule_id for rule in engine.rules],
+        "imputation_stats": engine.imputer.stats.as_dict(),
+    }
+
+
 def generate_goldens() -> None:
     DATA_DIR.mkdir(exist_ok=True)
     for dataset, scale, seed, window in GOLDEN_WORKLOADS:
@@ -102,5 +144,26 @@ def generate_goldens() -> None:
               f"({len(payload['reference']['matches'])} matches)")
 
 
+def generate_evolving_golden() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    dataset, scale, seed, window = EVOLVING_WORKLOAD
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    payload = {
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "window_size": window,
+        "holdout_fraction": EVOLVING_HOLDOUT_FRACTION,
+        "phases": EVOLVING_PHASES,
+        "reference": run_evolving_reference(TERiDSEngine, workload, config),
+    }
+    path = evolving_golden_path()
+    path.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {path} ({len(payload['reference']['matches'])} matches, "
+          f"{len(payload['reference']['rules'])} rules)")
+
+
 if __name__ == "__main__":
     generate_goldens()
+    generate_evolving_golden()

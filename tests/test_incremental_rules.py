@@ -1,0 +1,519 @@
+"""Differential tests for incremental CDD-rule maintenance (Section 5.5).
+
+The incremental maintainer is an approximation of full re-mining, so it
+ships with a differential harness: every scenario is driven through both
+the ``full`` (re-mine) path and the ``incremental`` sketch path and the
+outputs are compared — rule sets, imputation candidate distributions, match
+results, and checkpoint round-trips.  Where the pair budget forces the
+approximation to diverge, the divergence must stay bounded (incremental
+intervals contained in the full ones, drift reported).
+"""
+
+import json
+
+import pytest
+
+from golden_utils import (
+    EVOLVING_PHASES,
+    EVOLVING_WORKLOAD,
+    GOLDEN_WORKLOADS,
+    build_config,
+    build_workload,
+    canonical_matches,
+    evolving_discovery_config,
+    evolving_golden_path,
+    run_evolving_reference,
+)
+from repro.core.engine import TERiDSEngine
+from repro.core.tuples import Record, Schema
+from repro.experiments.harness import run_evolving_stream, split_repository
+from repro.imputation.cdd import (
+    MAINTENANCE_FULL,
+    MAINTENANCE_HYBRID,
+    MAINTENANCE_INCREMENTAL,
+    CDDDiscoveryConfig,
+    RuleError,
+    discover_cdd_rules,
+)
+from repro.imputation.incremental import IncrementalRuleMaintainer
+from repro.imputation.repository import DataRepository
+from repro.persistence import repository_from_dict, repository_to_dict
+from repro.runtime import MicroBatchExecutor, SerialExecutor
+
+
+def _rule_signature(rules):
+    return [(rule.rule_id, rule.dependent_interval, rule.support)
+            for rule in rules]
+
+
+def _chunks(items, size):
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+INCREMENTAL_CONFIG = CDDDiscoveryConfig(
+    maintenance_mode=MAINTENANCE_INCREMENTAL)
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+class TestMaintenanceConfig:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RuleError):
+            CDDDiscoveryConfig(maintenance_mode="sometimes")
+
+    @pytest.mark.parametrize("field,value", [
+        ("min_confidence", 0.0),
+        ("min_confidence", 1.5),
+        ("drift_threshold", 0.0),
+        ("pending_pool_size", 0),
+        ("max_update_pairs", 0),
+        ("max_group_pairs_per_sample", 0),
+    ])
+    def test_invalid_maintenance_knobs_rejected(self, field, value):
+        with pytest.raises(RuleError):
+            CDDDiscoveryConfig(**{field: value})
+
+
+# ---------------------------------------------------------------------------
+# Exactness: initialize == full miner; absorb == full re-mine
+# ---------------------------------------------------------------------------
+class TestMaintainerExactness:
+    def test_initialize_matches_full_miner_on_health(self, health_repository):
+        full = discover_cdd_rules(health_repository, INCREMENTAL_CONFIG)
+        maintainer = IncrementalRuleMaintainer(INCREMENTAL_CONFIG,
+                                               health_repository.schema)
+        assert (_rule_signature(maintainer.initialize(health_repository))
+                == _rule_signature(full))
+
+    @pytest.mark.parametrize("dataset,scale,seed,window", GOLDEN_WORKLOADS)
+    def test_initialize_matches_full_miner_on_goldens(self, dataset, scale,
+                                                      seed, window):
+        workload = build_workload(dataset, scale, seed)
+        full = discover_cdd_rules(workload.repository, INCREMENTAL_CONFIG)
+        maintainer = IncrementalRuleMaintainer(INCREMENTAL_CONFIG,
+                                               workload.schema)
+        assert (_rule_signature(maintainer.initialize(workload.repository))
+                == _rule_signature(full))
+
+    @pytest.mark.parametrize("dataset,scale,seed,window", GOLDEN_WORKLOADS)
+    def test_streamed_updates_match_full_remine(self, dataset, scale, seed,
+                                                window):
+        """Rule-set equivalence: every update batch, both modes, bit-equal.
+
+        The pair budget of the default config covers every new pair at this
+        repository scale, so the sketches are exact and the maintained rule
+        set must equal a from-scratch re-mine after every single batch.
+        """
+        workload = build_workload(dataset, scale, seed)
+        base, holdout = split_repository(workload.repository, 0.3)
+        repository = DataRepository(schema=workload.schema,
+                                    samples=list(base.samples))
+        maintainer = IncrementalRuleMaintainer(INCREMENTAL_CONFIG,
+                                               workload.schema)
+        maintainer.initialize(repository)
+        for batch in _chunks(holdout, 3):
+            repository.extend(batch)
+            report = maintainer.absorb(repository, batch)
+            assert not report.remined
+            full = discover_cdd_rules(repository, INCREMENTAL_CONFIG)
+            assert _rule_signature(report.rules) == _rule_signature(full)
+
+    @pytest.mark.parametrize("dataset,scale,seed,window", GOLDEN_WORKLOADS)
+    def test_imputation_candidates_identical(self, dataset, scale, seed,
+                                             window):
+        """Full-remine engine and incremental engine impute identically."""
+        workload = build_workload(dataset, scale, seed)
+        config = build_config(workload, window)
+        base, holdout = split_repository(workload.repository, 0.3)
+
+        full_engine = TERiDSEngine(
+            repository=DataRepository(schema=workload.schema,
+                                      samples=list(base.samples)),
+            config=config,
+            discovery_config=CDDDiscoveryConfig(
+                maintenance_mode=MAINTENANCE_FULL))
+        inc_engine = TERiDSEngine(
+            repository=DataRepository(schema=workload.schema,
+                                      samples=list(base.samples)),
+            config=config,
+            discovery_config=INCREMENTAL_CONFIG)
+
+        for batch in _chunks(holdout, 4):
+            full_engine.add_repository_samples(batch, remine_rules=True)
+            inc_engine.add_repository_samples(batch)
+
+        assert (_rule_signature(full_engine.rules)
+                == _rule_signature(inc_engine.rules))
+        incomplete = [record for record
+                      in workload.interleaved_records()
+                      if record.missing_attributes(workload.schema)]
+        assert incomplete
+        for record in incomplete:
+            for attribute in record.missing_attributes(workload.schema):
+                assert (full_engine.imputer.candidate_distribution(
+                            record, attribute)
+                        == inc_engine.imputer.candidate_distribution(
+                            record, attribute))
+
+
+# ---------------------------------------------------------------------------
+# Bounded divergence under a constrained pair budget
+# ---------------------------------------------------------------------------
+class TestBoundedDrift:
+    def test_budgeted_sketches_stay_inside_full_intervals(self):
+        """With a tight pair budget the approximation is one-sided.
+
+        A skipped pair can only make a sketch *narrower* than the truth
+        (min/max over a subset), so every maintained interval rule must be
+        contained in the corresponding full-mine interval and report at most
+        the full support; the skipped coverage must surface as drift.
+        """
+        dataset, scale, seed, _ = GOLDEN_WORKLOADS[0]
+        workload = build_workload(dataset, scale, seed)
+        base, holdout = split_repository(workload.repository, 0.4)
+        config = CDDDiscoveryConfig(maintenance_mode=MAINTENANCE_INCREMENTAL,
+                                    max_update_pairs=5)
+        repository = DataRepository(schema=workload.schema,
+                                    samples=list(base.samples))
+        maintainer = IncrementalRuleMaintainer(config, workload.schema)
+        maintainer.initialize(repository)
+        skipped_total = 0
+        for batch in _chunks(holdout, 4):
+            repository.extend(batch)
+            report = maintainer.absorb(repository, batch)
+            skipped_total += report.pairs_skipped
+        assert skipped_total > 0
+        assert maintainer.drift > 0.0
+
+        full_by_id = {rule.rule_id: rule
+                      for rule in discover_cdd_rules(repository, config)}
+        checked = 0
+        for rule in maintainer.rules:
+            if len(rule.determinants) != 1:
+                continue
+            full_rule = full_by_id.get(rule.rule_id)
+            if full_rule is None:
+                continue
+            low, high = rule.dependent_interval
+            full_low, full_high = full_rule.dependent_interval
+            assert full_low - 1e-9 <= low
+            assert high <= full_high + 1e-9
+            assert rule.support <= full_rule.support
+            checked += 1
+        assert checked > 0
+
+    def test_hybrid_mode_remines_once_drift_exceeds_threshold(self):
+        dataset, scale, seed, _ = GOLDEN_WORKLOADS[0]
+        workload = build_workload(dataset, scale, seed)
+        base, holdout = split_repository(workload.repository, 0.5)
+        config = CDDDiscoveryConfig(maintenance_mode=MAINTENANCE_HYBRID,
+                                    max_update_pairs=2,
+                                    drift_threshold=0.25)
+        repository = DataRepository(schema=workload.schema,
+                                    samples=list(base.samples))
+        maintainer = IncrementalRuleMaintainer(config, workload.schema)
+        maintainer.initialize(repository)
+        remined = False
+        for batch in _chunks(holdout, 3):
+            repository.extend(batch)
+            report = maintainer.absorb(repository, batch)
+            if report.remined:
+                remined = True
+                # The escape hatch resynchronises exactly and resets drift.
+                assert (_rule_signature(report.rules)
+                        == _rule_signature(discover_cdd_rules(repository,
+                                                              config)))
+                assert maintainer.drift == 0.0
+                break
+        assert remined
+
+    def test_forced_remine_resynchronises_exactly(self, health_repository,
+                                                  health_config):
+        engine = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              discovery_config=CDDDiscoveryConfig(
+                                  maintenance_mode=MAINTENANCE_INCREMENTAL,
+                                  max_update_pairs=1))
+        additions = [
+            Record(rid=f"extra{index}",
+                   values={"gender": "female", "symptom": "sneeze pollen rash",
+                           "diagnosis": "allergy", "treatment": "antihistamine"},
+                   source="repository")
+            for index in range(4)
+        ]
+        report = engine.add_repository_samples(additions, remine_rules=True)
+        assert report.remined
+        assert (_rule_signature(engine.rules)
+                == _rule_signature(discover_cdd_rules(engine.repository,
+                                                      engine.discovery_config)))
+
+
+# ---------------------------------------------------------------------------
+# Retirement and the pending pool
+# ---------------------------------------------------------------------------
+SCHEMA_XY = Schema(attributes=("x", "y"))
+
+
+def _xy(rid, x, y):
+    return Record(rid=rid, values={"x": x, "y": y}, source="repository")
+
+
+class TestRetirementAndPromotion:
+    def test_broken_dependency_is_retired_with_violations_counted(self):
+        """New samples that break ``x=alpha -> y`` retire the constant rule.
+
+        The full miner drops the rule too (the group's dependent range blows
+        past ``max_dependent_width``), so retirement keeps the two paths
+        equivalent while the counters record the observed violations.
+        """
+        base = [_xy(f"s{i}", "alpha", "beta gamma") for i in range(4)]
+        repository = DataRepository(schema=SCHEMA_XY, samples=list(base))
+        maintainer = IncrementalRuleMaintainer(INCREMENTAL_CONFIG, SCHEMA_XY)
+        maintainer.initialize(repository)
+        rule_id = "cdd:x=alpha->y"
+        assert any(rule.rule_id == rule_id for rule in maintainer.rules)
+
+        breakers = [_xy(f"b{i}", "alpha", f"unrelated{i} totally{i}")
+                    for i in range(4)]
+        repository.extend(breakers)
+        report = maintainer.absorb(repository, breakers)
+        assert rule_id in report.retired
+        assert all(rule.rule_id != rule_id for rule in maintainer.rules)
+        counters = maintainer.counters[rule_id]
+        assert counters.violations >= 2
+        assert counters.confidence < INCREMENTAL_CONFIG.min_confidence
+        # Differential: the full miner agrees the dependency is gone.
+        full_ids = {rule.rule_id
+                    for rule in discover_cdd_rules(repository,
+                                                   INCREMENTAL_CONFIG)}
+        assert rule_id not in full_ids
+
+    def test_long_constants_keep_distinct_rule_ids(self):
+        """Two constants sharing a long prefix must not share a rule id.
+
+        Rule ids key the maintainer's counters / retirement / promotion
+        state; a truncated id would conflate the two groups and retire both
+        rules when only one dependency breaks.
+        """
+        value_a = "internationalconference alphatrack"
+        value_b = "internationalconference betatrack"
+        base = ([_xy(f"a{i}", value_a, "proceedings alpha") for i in range(3)]
+                + [_xy(f"b{i}", value_b, "proceedings beta") for i in range(3)])
+        repository = DataRepository(schema=SCHEMA_XY, samples=list(base))
+        maintainer = IncrementalRuleMaintainer(INCREMENTAL_CONFIG, SCHEMA_XY)
+        rules = maintainer.initialize(repository)
+        constant_ids = {rule.rule_id for rule in rules
+                        if rule.rule_id.startswith("cdd:x=international")}
+        assert len(constant_ids) == 2
+
+        # Breaking only the alpha dependency must leave the beta rule alive.
+        breakers = [_xy(f"k{i}", value_a, f"smashed{i} dependency{i}")
+                    for i in range(4)]
+        repository.extend(breakers)
+        report = maintainer.absorb(repository, breakers)
+        surviving = {rule.rule_id for rule in report.rules}
+        assert f"cdd:x={value_b}->y" in surviving
+        assert f"cdd:x={value_a}->y" not in surviving
+
+    def test_group_pair_cap_surfaces_as_drift(self):
+        """Constant-group pairs skipped by the member cap count as drift."""
+        config = CDDDiscoveryConfig(maintenance_mode=MAINTENANCE_INCREMENTAL,
+                                    max_group_pairs_per_sample=1,
+                                    max_update_pairs=100_000)
+        base = [_xy(f"s{i}", "shared", f"tail{i}") for i in range(6)]
+        repository = DataRepository(schema=SCHEMA_XY, samples=list(base))
+        maintainer = IncrementalRuleMaintainer(config, SCHEMA_XY)
+        maintainer.initialize(repository)
+        additions = [_xy("n0", "shared", "tail6")]
+        repository.extend(additions)
+        report = maintainer.absorb(repository, additions)
+        assert report.pairs_skipped > 0
+        assert maintainer.drift > 0.0
+
+    def test_pending_pool_bounds_promotions_per_update(self):
+        config = CDDDiscoveryConfig(maintenance_mode=MAINTENANCE_INCREMENTAL,
+                                    pending_pool_size=1)
+        base = [_xy("s0", "alpha", "beta"), _xy("s1", "alpha", "beta")]
+        repository = DataRepository(schema=SCHEMA_XY, samples=list(base))
+        maintainer = IncrementalRuleMaintainer(config, SCHEMA_XY)
+        maintainer.initialize(repository)
+
+        # A burst of agreeing samples creates several new qualifying rules
+        # (a new constant group in each direction plus interval bands).
+        additions = [_xy(f"n{i}", "delta", "epsilon") for i in range(4)]
+        repository.extend(additions)
+        report = maintainer.absorb(repository, additions)
+        assert len(report.promoted) <= 1
+        assert report.deferred
+
+        # Update-free absorptions keep draining the pool one rule at a time.
+        deferred = set(report.deferred)
+        follow_up = maintainer.absorb(repository, [])
+        assert follow_up.promoted
+        assert set(follow_up.promoted) <= deferred
+
+    def test_widened_intervals_are_reported_and_monotone(self):
+        base = [_xy("s0", "alpha beta", "left right"),
+                _xy("s1", "alpha beta gamma", "left right middle"),
+                _xy("s2", "alpha", "left")]
+        repository = DataRepository(schema=SCHEMA_XY, samples=list(base))
+        maintainer = IncrementalRuleMaintainer(INCREMENTAL_CONFIG, SCHEMA_XY)
+        before = {rule.rule_id: rule.dependent_interval
+                  for rule in maintainer.initialize(repository)}
+        additions = [_xy("n0", "alpha beta", "left right middle centre")]
+        repository.extend(additions)
+        report = maintainer.absorb(repository, additions)
+        assert report.widened > 0
+        for rule in maintainer.rules:
+            previous = before.get(rule.rule_id)
+            if previous is None:
+                continue
+            assert rule.dependent_interval[0] <= previous[0] + 1e-9
+            assert rule.dependent_interval[1] >= previous[1] - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Golden fixture: the evolving-repository scenario, both executors
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("executor_factory", [
+    SerialExecutor,
+    lambda: MicroBatchExecutor(batch_size=1),
+    lambda: MicroBatchExecutor(batch_size=7),
+    lambda: MicroBatchExecutor(batch_size=32),
+], ids=["serial", "micro-batch-1", "micro-batch-7", "micro-batch-32"])
+def test_evolving_repository_matches_golden(executor_factory):
+    golden = json.loads(evolving_golden_path().read_text())["reference"]
+    dataset, scale, seed, window = EVOLVING_WORKLOAD
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    got = run_evolving_reference(
+        lambda **kwargs: TERiDSEngine(executor=executor_factory(), **kwargs),
+        workload, config)
+    assert got == golden
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint round-trip of the maintainer state (acceptance criterion)
+# ---------------------------------------------------------------------------
+class TestMaintainerCheckpoint:
+    def test_state_round_trip_preserves_rules_and_drift(self):
+        dataset, scale, seed, _ = GOLDEN_WORKLOADS[0]
+        workload = build_workload(dataset, scale, seed)
+        base, holdout = split_repository(workload.repository, 0.3)
+        config = CDDDiscoveryConfig(maintenance_mode=MAINTENANCE_INCREMENTAL,
+                                    max_update_pairs=20)
+        repository = DataRepository(schema=workload.schema,
+                                    samples=list(base.samples))
+        maintainer = IncrementalRuleMaintainer(config, workload.schema)
+        maintainer.initialize(repository)
+        repository.extend(holdout)
+        maintainer.absorb(repository, holdout)
+
+        state = json.loads(json.dumps(maintainer.state_to_dict()))
+        restored = IncrementalRuleMaintainer(config, workload.schema)
+        restored_rules = restored.restore_state(state)
+        assert (_rule_signature(restored_rules)
+                == _rule_signature(maintainer.rules))
+        assert restored.drift == maintainer.drift
+        assert restored.state_to_dict() == maintainer.state_to_dict()
+
+    def test_restoring_into_non_incremental_engine_raises(self, tmp_path,
+                                                          health_repository,
+                                                          health_config):
+        source = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              discovery_config=INCREMENTAL_CONFIG)
+        path = tmp_path / "maintained.ckpt.json"
+        source.save_checkpoint(path)
+        plain = TERiDSEngine(repository=health_repository,
+                             config=health_config)
+        with pytest.raises(ValueError, match="maintenance_mode"):
+            plain.load_checkpoint(path)
+
+    def test_resumed_stream_produces_identical_matches(self, tmp_path):
+        """A checkpointed + resumed incremental stream matches an unbroken one."""
+        dataset, scale, seed, window = EVOLVING_WORKLOAD
+        workload = build_workload(dataset, scale, seed)
+        config = build_config(workload, window)
+        base, holdout = split_repository(workload.repository, 0.3)
+        records = workload.interleaved_records()
+        cut = len(records) // 2
+
+        reference = TERiDSEngine(
+            repository=DataRepository(schema=workload.schema,
+                                      samples=list(base.samples)),
+            config=config, discovery_config=evolving_discovery_config())
+        first_half = run_evolving_stream(reference, records[:cut], holdout,
+                                         phases=EVOLVING_PHASES)
+        checkpoint_path = tmp_path / "evolving.ckpt.json"
+        reference.save_checkpoint(checkpoint_path)
+        repository_snapshot = repository_to_dict(reference.repository)
+
+        resumed = TERiDSEngine(
+            repository=repository_from_dict(repository_snapshot),
+            config=config, discovery_config=evolving_discovery_config())
+        resumed.load_checkpoint(checkpoint_path)
+        assert (_rule_signature(resumed.rules)
+                == _rule_signature(reference.rules))
+        assert (resumed.rule_maintainer.state_to_dict()
+                == reference.rule_maintainer.state_to_dict())
+
+        tail_reference = reference.process_batch(records[cut:])
+        tail_resumed = resumed.process_batch(records[cut:])
+        assert (canonical_matches(tail_resumed)
+                == canonical_matches(tail_reference))
+        assert (canonical_matches(resumed.current_matches())
+                == canonical_matches(reference.current_matches()))
+        assert first_half is not None
+
+
+# ---------------------------------------------------------------------------
+# Engine/stage integration
+# ---------------------------------------------------------------------------
+class TestEngineIntegration:
+    def test_full_mode_reports_none_and_keeps_imputer_object(
+            self, health_repository, health_config):
+        engine = TERiDSEngine(repository=health_repository,
+                              config=health_config)
+        assert engine.rule_maintainer is None
+        imputer = engine.imputer
+        report = engine.add_repository_samples(
+            [_health_sample("new0")], remine_rules=True)
+        assert report is None
+        # install_rules swaps rules in place: same imputer object, new rules.
+        assert engine.imputer is imputer
+        assert engine.imputer.rules == engine.rules
+
+    def test_incremental_mode_reports_maintenance(self, health_repository,
+                                                  health_config):
+        engine = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              discovery_config=INCREMENTAL_CONFIG)
+        assert engine.rule_maintainer is not None
+        report = engine.add_repository_samples([_health_sample("new0"),
+                                                _health_sample("new1")])
+        assert report is not None
+        assert not report.remined
+        assert (_rule_signature(engine.rules)
+                == _rule_signature(discover_cdd_rules(engine.repository,
+                                                      INCREMENTAL_CONFIG)))
+        assert engine.imputer.rules == engine.rules
+
+    def test_explicit_rules_disable_the_maintainer(self, health_repository,
+                                                   health_config,
+                                                   simple_cdd_rule):
+        engine = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              rules=[simple_cdd_rule],
+                              discovery_config=INCREMENTAL_CONFIG)
+        assert engine.rule_maintainer is None
+        assert engine.rules == [simple_cdd_rule]
+
+
+def _health_sample(rid):
+    return Record(rid=rid,
+                  values={"gender": "female", "symptom": "thirst fatigue",
+                          "diagnosis": "diabetes", "treatment": "insulin"},
+                  source="repository")

@@ -26,8 +26,17 @@ from repro.core.similarity import (
     tokenize,
 )
 from repro.core.tuples import ImputedRecord, Record, Schema
+from repro.imputation.cdd import (
+    CONSTRAINT_CONSTANT,
+    CONSTRAINT_INTERVAL,
+    CONSTRAINT_MISSING,
+    AttributeConstraint,
+    CDDRule,
+)
 from repro.imputation.imputer import combine_frequencies
+from repro.imputation.incremental import widen_interval
 from repro.imputation.repository import DataRepository
+from repro.persistence import rule_from_dict, rule_to_dict
 from repro.indexes.artree import ARTree, Rect
 from repro.indexes.pivots import PivotSelectionConfig, select_pivots, shannon_entropy
 
@@ -217,8 +226,136 @@ class TestARTreeProperties:
 
 
 # ---------------------------------------------------------------------------
-# Miscellaneous invariants
+# CDD rule invariants (incremental maintenance, Section 5.5)
 # ---------------------------------------------------------------------------
+RULE_SCHEMA = Schema(attributes=("a", "b", "c"))
+
+
+def _sub_intervals():
+    """Valid ``[low, high]`` distance intervals with ``low < high``."""
+    return st.tuples(st.floats(0.0, 0.8), st.floats(0.05, 0.2)).map(
+        lambda pair: (round(pair[0], 3),
+                      round(min(1.0, pair[0] + pair[1]), 3)))
+
+
+def _dependent_intervals():
+    """Valid dependent intervals (``low <= high`` is allowed)."""
+    return st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)).map(
+        lambda pair: (round(min(pair), 3), round(max(pair), 3)))
+
+
+def _constraints(attribute):
+    interval = _sub_intervals().map(
+        lambda band: AttributeConstraint(attribute=attribute,
+                                         kind=CONSTRAINT_INTERVAL,
+                                         interval=band))
+    constant = st.sampled_from(WORDS).map(
+        lambda value: AttributeConstraint(attribute=attribute,
+                                          kind=CONSTRAINT_CONSTANT,
+                                          constant=value))
+    missing = st.just(AttributeConstraint(attribute=attribute,
+                                          kind=CONSTRAINT_MISSING))
+    return st.one_of(interval, constant, missing)
+
+
+def _cdd_rules():
+    attributes = list(RULE_SCHEMA)
+
+    def for_dependent(dependent_index):
+        dependent = attributes[dependent_index]
+        others = [name for name in attributes if name != dependent]
+        return st.builds(
+            lambda first, second, mask, interval, support: CDDRule(
+                determinants=(tuple(constraint for constraint, keep
+                                    in zip((first, second), mask) if keep)
+                              or (first,)),
+                dependent=dependent,
+                dependent_interval=interval,
+                support=support,
+                rule_id="prop-rule"),
+            first=_constraints(others[0]),
+            second=_constraints(others[1]),
+            mask=st.tuples(st.booleans(), st.booleans()),
+            interval=_dependent_intervals(),
+            support=st.integers(0, 20),
+        )
+
+    return st.integers(0, len(attributes) - 1).flatmap(for_dependent)
+
+
+def _rule_records():
+    values = st.one_of(st.none(), texts)
+    return st.builds(
+        lambda a, b, c, source: Record(rid=f"{source}-r",
+                                       values={"a": a, "b": b, "c": c},
+                                       source=source),
+        a=values, b=values, c=values, source=st.sampled_from(["s1", "s2"]))
+
+
+class TestWidenIntervalProperties:
+    @given(interval=_dependent_intervals(), distance=st.floats(0.0, 1.0),
+           max_width=st.floats(0.1, 1.0))
+    def test_widening_is_monotone_and_absorbing(self, interval, distance,
+                                                max_width):
+        """A supporting sample only ever *grows* the interval around itself."""
+        widened = widen_interval(interval, distance, max_width)
+        low, high = interval
+        if widened is None:
+            # Refused only when absorbing the distance must exceed the cap.
+            assert max(high, distance) - min(low, distance) > max_width
+            return
+        new_low, new_high = widened
+        assert new_low <= low + 1e-9
+        assert new_high >= high - 1e-9
+        assert new_low - 1e-9 <= distance <= new_high + 1e-9
+        assert 0.0 <= new_low <= new_high <= 1.0
+
+    @given(interval=_dependent_intervals(), distance=st.floats(0.0, 1.0),
+           max_width=st.floats(0.1, 1.0))
+    def test_widening_is_idempotent(self, interval, distance, max_width):
+        widened = widen_interval(interval, distance, max_width)
+        if widened is not None:
+            assert widen_interval(widened, distance, max_width) == widened
+
+
+class TestCDDRuleProperties:
+    @given(rule=_cdd_rules(), left=_rule_records(), right=_rule_records(),
+           distance=st.floats(0.0, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_widening_never_flips_satisfied_to_violated(self, rule, left,
+                                                        right, distance):
+        """Interval maintenance is monotone for ``holds_for``.
+
+        Absorbing a new supporting sample widens the dependent interval;
+        every pair that satisfied the rule before the update must still
+        satisfy the maintained rule.  (The converse flip — violated to
+        satisfied — is allowed precisely *because* the repository changed.)
+        """
+        widened = widen_interval(rule.dependent_interval, distance, 1.0)
+        assert widened is not None  # cap 1.0 can always absorb
+        maintained = CDDRule(determinants=rule.determinants,
+                             dependent=rule.dependent,
+                             dependent_interval=widened,
+                             support=rule.support + 1,
+                             rule_id=rule.rule_id)
+        if rule.holds_for(left, right):
+            assert maintained.holds_for(left, right)
+
+    @given(rule=_cdd_rules(), left=_rule_records(), right=_rule_records())
+    @settings(max_examples=150, deadline=None)
+    def test_holds_for_invariant_without_repository_change(self, rule, left,
+                                                           right):
+        """No repository change, no verdict change.
+
+        Operations that do not absorb new samples — serialisation
+        round-trips of the kind the checkpoint performs — must preserve the
+        ``holds_for`` verdict of every pair bit for bit: a pair may never
+        flip from violated to satisfied without a repository change.
+        """
+        round_tripped = rule_from_dict(rule_to_dict(rule))
+        assert round_tripped == rule
+        assert (round_tripped.holds_for(left, right)
+                == rule.holds_for(left, right))
 class TestMiscellaneousProperties:
     @given(frequency_maps=st.lists(
         st.dictionaries(st.sampled_from(WORDS), st.integers(1, 5), max_size=4),

@@ -92,6 +92,51 @@ class TestRepositoryQueries:
         assert len(repository) == 2
 
 
+class TestDomainCacheInvalidation:
+    """Regression: domain caches must be rebuilt whenever samples are reset.
+
+    ``dataclasses.replace`` (and any construction handing over pre-populated
+    caches) used to merge the re-added samples into the *source* repository's
+    domain dicts, so ``domain_size`` over-counted — and stayed wrong after
+    every subsequent ``extend``.
+    """
+
+    def _base(self, count=10):
+        samples = [_sample(f"s{i}", f"x{i}", f"y{i}") for i in range(count)]
+        return DataRepository(schema=SCHEMA, samples=samples), samples
+
+    def test_replace_rebuilds_domains(self):
+        import dataclasses
+
+        repository, samples = self._base()
+        narrowed = dataclasses.replace(repository, samples=samples[:2])
+        assert len(narrowed) == 2
+        assert narrowed.domain_size("x") == 2
+        assert sorted(narrowed.domain("x")) == ["x0", "x1"]
+        # The source repository's caches must be untouched.
+        assert repository.domain_size("x") == 10
+
+    def test_domain_size_correct_after_extend_on_subset(self):
+        repository, _ = self._base()
+        subset = repository.subset(0.5)
+        distinct_before = {sample["x"] for sample in subset.samples}
+        assert subset.domain_size("x") == len(distinct_before)
+        subset.extend([_sample("n0", "brand new", "value"),
+                       _sample("n1", "brand new", "other")])
+        assert subset.domain_size("x") == len(distinct_before) + 1
+        assert subset.domain_size("y") == len(distinct_before) + 2
+        # The parent repository must not observe the subset's extension.
+        assert repository.domain_size("x") == 10
+        assert len(repository) == 10
+
+    def test_extend_deduplicates_against_existing_domain(self):
+        repository, _ = self._base(3)
+        repository.extend([_sample("n0", "x0", "y0")])
+        assert len(repository) == 4
+        assert repository.domain_size("x") == 3
+        assert repository.domain_size("y") == 3
+
+
 class TestSubset:
     def test_subset_fraction(self):
         samples = [_sample(f"s{i}", f"x{i}", f"y{i}") for i in range(10)]
