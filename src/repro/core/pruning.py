@@ -28,10 +28,17 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tup
 
 from repro.core.matching import ter_ids_probability_with_cutoff
 from repro.core.similarity import (
+    HAS_NUMPY,
     attribute_similarity_upper_bound,
+    attribute_similarity_upper_bound_batch,
     text_distance,
     tokenize,
 )
+
+if HAS_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
 from repro.core.tuples import ImputedRecord, Schema
 
 if TYPE_CHECKING:  # pragma: no cover - only needed for type checkers
@@ -170,6 +177,13 @@ class RecordSynopsis:
 
         for attribute in record.schema:
             possible = record.possible_values(attribute)
+            if not possible:
+                # An empty candidate map (e.g. hand-built imputed records or
+                # upstream imputers that retained nothing) is treated as a
+                # missing value: the empty token set at distance 1.0 from
+                # every pivot, exactly like ``possible_values`` reports for
+                # an unimputable attribute.
+                possible = {"": 1.0}
             pivot_values = pivots.all_pivots(attribute)
             bounds: List[Tuple[float, float]] = []
             expectations: List[float] = []
@@ -284,16 +298,18 @@ def similarity_prune(left: RecordSynopsis, right: RecordSynopsis,
 # ---------------------------------------------------------------------------
 # Lemma 4.3 / Theorem 4.3 — Paley–Zygmund probability upper bound
 # ---------------------------------------------------------------------------
-def probability_upper_bound(left: RecordSynopsis, right: RecordSynopsis,
-                            gamma: float, pivot_index: int = 0) -> float:
-    """Paley–Zygmund-based upper bound of the TER-iDS probability (Lemma 4.3)."""
-    dimensionality = len(left.schema)
-    margin = dimensionality - gamma
+def paley_zygmund_bound_from_totals(margin: float,
+                                    expectation_left: float,
+                                    lb_left: float, ub_left: float,
+                                    expectation_right: float,
+                                    lb_right: float, ub_right: float) -> float:
+    """Lemma 4.3 bound from pre-computed per-tuple distance totals.
 
-    expectation_left = left.expected_total_distance(pivot_index)
-    expectation_right = right.expected_total_distance(pivot_index)
-    lb_left, ub_left = left.total_distance_bounds(pivot_index)
-    lb_right, ub_right = right.total_distance_bounds(pivot_index)
+    Shared by the scalar :func:`probability_upper_bound` and the vectorized
+    kernel (which pre-computes the totals columnarly and calls this for the
+    few candidate lanes whose intervals are disjoint), so both paths perform
+    the identical float operations.
+    """
 
     def bound(expect_far: float, expect_near: float,
               ub_far: float, lb_near: float) -> Optional[float]:
@@ -315,6 +331,21 @@ def probability_upper_bound(left: RecordSynopsis, right: RecordSynopsis,
         if value is not None:
             return max(0.0, min(1.0, value))
     return 1.0
+
+
+def probability_upper_bound(left: RecordSynopsis, right: RecordSynopsis,
+                            gamma: float, pivot_index: int = 0) -> float:
+    """Paley–Zygmund-based upper bound of the TER-iDS probability (Lemma 4.3)."""
+    dimensionality = len(left.schema)
+    margin = dimensionality - gamma
+
+    expectation_left = left.expected_total_distance(pivot_index)
+    expectation_right = right.expected_total_distance(pivot_index)
+    lb_left, ub_left = left.total_distance_bounds(pivot_index)
+    lb_right, ub_right = right.total_distance_bounds(pivot_index)
+    return paley_zygmund_bound_from_totals(
+        margin, expectation_left, lb_left, ub_left,
+        expectation_right, lb_right, ub_right)
 
 
 def probability_prune(left: RecordSynopsis, right: RecordSynopsis,
@@ -389,3 +420,378 @@ class PruningPipeline:
         else:
             self.stats.refined_non_matches += 1
         return is_match, probability
+
+
+# ---------------------------------------------------------------------------
+# Packed columnar synopses + the vectorized pruning kernel
+# ---------------------------------------------------------------------------
+#: Attribute under which the packed block is cached on a synopsis (mirrors
+#: the instance-profile cache of :mod:`repro.runtime.evaluation`).
+_PACKED_ATTR = "_packed_synopsis"
+
+
+@dataclass
+class PackedSynopsis:
+    """Columnar numpy mirror of one :class:`RecordSynopsis`.
+
+    The per-attribute dicts of the dataclass are flattened into dense
+    ``float64`` arrays in schema order so that a whole candidate list can be
+    evaluated with a handful of array operations:
+
+    * ``dist_lb`` / ``dist_ub`` / ``dist_exp`` — shape ``(d, P)`` where ``P``
+      is the maximum pivot count over the attributes; attributes with fewer
+      pivots are edge-padded (replicating their last pivot, matching the
+      ``min(pivot_index, len - 1)`` clamping of the scalar accessors);
+    * ``tok_min`` / ``tok_max`` — shape ``(d,)`` token-size bounds;
+    * ``may_have_keyword`` — the Theorem 4.1 flag;
+    * ``pivot_limit`` — the number of *real* (un-padded) pivots shared by
+      every attribute, i.e. the exact pivot range the scalar
+      :func:`similarity_upper_bound` iterates;
+    * ``total_exp0`` / ``total_lb0`` / ``total_ub0`` — the main-pivot
+      distance totals of Lemma 4.3, pre-accumulated in the scalar methods'
+      exact float order (they depend only on the record, not the pair).
+    """
+
+    dist_lb: "object"
+    dist_ub: "object"
+    dist_exp: "object"
+    tok_min: "object"
+    tok_max: "object"
+    may_have_keyword: bool
+    pivot_limit: int
+    total_exp0: float
+    total_lb0: float
+    total_ub0: float
+
+
+def pack_synopsis(synopsis: RecordSynopsis) -> "PackedSynopsis":
+    """Build the packed columnar block of one synopsis (numpy required)."""
+    if _np is None:  # pragma: no cover - callers gate on HAS_NUMPY
+        raise RuntimeError("numpy is required to pack synopses")
+    schema = synopsis.schema
+    dimensionality = len(schema)
+    bounds = [synopsis.distance_bounds[name] for name in schema]
+    expectations = [synopsis.distance_expectations[name] for name in schema]
+    counts = [len(per_attribute) for per_attribute in bounds]
+    if min(counts) < 1:
+        raise ValueError("cannot pack a synopsis with a pivot-less attribute")
+    pivot_width = max(counts)
+    dist_lb = _np.empty((dimensionality, pivot_width))
+    dist_ub = _np.empty((dimensionality, pivot_width))
+    dist_exp = _np.empty((dimensionality, pivot_width))
+    for row, (per_attribute, per_expectation, count) in enumerate(
+            zip(bounds, expectations, counts)):
+        for column in range(pivot_width):
+            index = column if column < count else count - 1
+            low, high = per_attribute[index]
+            dist_lb[row, column] = low
+            dist_ub[row, column] = high
+            dist_exp[row, column] = per_expectation[index]
+    tok = [synopsis.token_size_bounds[name] for name in schema]
+    # Main-pivot totals in the exact accumulation order of
+    # ``expected_total_distance`` / ``total_distance_bounds``.
+    total_exp0 = 0.0
+    total_lb0 = 0.0
+    total_ub0 = 0.0
+    for per_attribute, per_expectation in zip(bounds, expectations):
+        low, high = per_attribute[0]
+        total_exp0 += per_expectation[0]
+        total_lb0 += low
+        total_ub0 += high
+    return PackedSynopsis(
+        dist_lb=dist_lb,
+        dist_ub=dist_ub,
+        dist_exp=dist_exp,
+        tok_min=_np.array([pair[0] for pair in tok], dtype=_np.float64),
+        tok_max=_np.array([pair[1] for pair in tok], dtype=_np.float64),
+        may_have_keyword=synopsis.may_have_keyword,
+        pivot_limit=min(counts),
+        total_exp0=total_exp0,
+        total_lb0=total_lb0,
+        total_ub0=total_ub0,
+    )
+
+
+def ensure_packed(synopsis: RecordSynopsis) -> Optional["PackedSynopsis"]:
+    """The synopsis' packed block, built once and cached on the object.
+
+    Returns ``None`` when numpy is unavailable so callers can fall back to
+    the scalar cascade.
+    """
+    if _np is None:
+        return None
+    packed = getattr(synopsis, _PACKED_ATTR, None)
+    if packed is None:
+        packed = pack_synopsis(synopsis)
+        setattr(synopsis, _PACKED_ATTR, packed)
+    return packed
+
+
+class PackedStore:
+    """A resident, columnar store of packed synopses keyed by (rid, source).
+
+    The ER-grid (main process) and the persistent refinement workers each
+    keep one: in-window synopses occupy rows of shared ``(capacity, d, P)``
+    arrays so that a candidate list gathers into the kernel's stacked
+    matrices with one fancy-indexing operation instead of per-candidate
+    restacking.  Rows are recycled through a free list on eviction.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Dict[Tuple[str, str], int] = {}
+        #: Fast row lookup by object identity (the hot gather path); entries
+        #: are deleted on removal/overwrite so recycled ids can never alias.
+        self._rows_by_id: Dict[int, int] = {}
+        self._objects: List[Optional[RecordSynopsis]] = []
+        self._free: List[int] = []
+        self._shape: Optional[Tuple[int, int]] = None
+        self.dist_lb = None
+        self.dist_ub = None
+        self.dist_exp = None
+        self.tok_min = None
+        self.tok_max = None
+        self.may_kw = None
+        self.limits = None
+        #: ``(capacity, 3)`` main-pivot totals: ``exp0, lb0, ub0`` columns.
+        self.totals = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _grow(self, capacity: int) -> None:
+        dimensionality, pivot_width = self._shape  # type: ignore[misc]
+        def expand(array, shape):
+            fresh = _np.zeros(shape)
+            if array is not None:
+                fresh[: array.shape[0]] = array
+            return fresh
+        self.dist_lb = expand(self.dist_lb, (capacity, dimensionality, pivot_width))
+        self.dist_ub = expand(self.dist_ub, (capacity, dimensionality, pivot_width))
+        self.dist_exp = expand(self.dist_exp, (capacity, dimensionality, pivot_width))
+        self.tok_min = expand(self.tok_min, (capacity, dimensionality))
+        self.tok_max = expand(self.tok_max, (capacity, dimensionality))
+        self.totals = expand(self.totals, (capacity, 3))
+        fresh_may = _np.zeros(capacity, dtype=bool)
+        fresh_limits = _np.zeros(capacity, dtype=_np.int64)
+        if self.may_kw is not None:
+            fresh_may[: self.may_kw.shape[0]] = self.may_kw
+            fresh_limits[: self.limits.shape[0]] = self.limits
+        self.may_kw = fresh_may
+        self.limits = fresh_limits
+
+    def insert(self, synopsis: RecordSynopsis) -> Optional[int]:
+        """Register (or refresh) one synopsis; ``None`` if it does not fit.
+
+        A synopsis whose packed block has a different ``(d, P)`` shape than
+        the store (only possible when synopses from different pivot tables
+        are mixed) is simply not stored — the kernel falls back to stacking
+        such candidates individually.
+        """
+        if _np is None:
+            return None
+        packed = ensure_packed(synopsis)
+        if self._shape is None:
+            self._shape = packed.dist_lb.shape
+            self._grow(64)
+        elif packed.dist_lb.shape != self._shape:
+            self.remove(synopsis.rid, synopsis.source)
+            return None
+        key = (synopsis.rid, synopsis.source)
+        row = self._rows.get(key)
+        if row is None:
+            if self._free:
+                row = self._free.pop()
+            else:
+                # Allocated rows are exactly 0 .. len(rows) + len(free) - 1;
+                # with an empty free list the next fresh row is len(rows).
+                row = len(self._rows)
+                if row >= self.may_kw.shape[0]:
+                    self._grow(max(64, 2 * self.may_kw.shape[0]))
+            self._rows[key] = row
+        while len(self._objects) <= row:
+            self._objects.append(None)
+        previous = self._objects[row]
+        if previous is not None:
+            self._rows_by_id.pop(id(previous), None)
+        self._objects[row] = synopsis
+        self._rows_by_id[id(synopsis)] = row
+        self.dist_lb[row] = packed.dist_lb
+        self.dist_ub[row] = packed.dist_ub
+        self.dist_exp[row] = packed.dist_exp
+        self.tok_min[row] = packed.tok_min
+        self.tok_max[row] = packed.tok_max
+        self.may_kw[row] = packed.may_have_keyword
+        self.limits[row] = packed.pivot_limit
+        self.totals[row, 0] = packed.total_exp0
+        self.totals[row, 1] = packed.total_lb0
+        self.totals[row, 2] = packed.total_ub0
+        return row
+
+    def remove(self, rid: str, source: str) -> bool:
+        row = self._rows.pop((rid, source), None)
+        if row is None:
+            return False
+        previous = self._objects[row]
+        if previous is not None:
+            self._rows_by_id.pop(id(previous), None)
+        self._objects[row] = None
+        self._free.append(row)
+        return True
+
+    def row_for(self, synopsis: RecordSynopsis) -> Optional[int]:
+        """The row of exactly this synopsis object (``None`` when absent).
+
+        Identity (not just key equality) decides, so a row recycled within
+        the same batch — the stored tuple evicted and its slot reused — can
+        never be served for a stale candidate reference.
+        """
+        return self._rows_by_id.get(id(synopsis))
+
+
+def _stack_candidates(candidates: Sequence[RecordSynopsis],
+                      store: Optional[PackedStore]):
+    """Stacked kernel inputs for one candidate list.
+
+    Gathers rows from the resident store when every candidate is stored
+    (the steady-state path: one fancy-indexing copy); otherwise stacks the
+    per-synopsis packed blocks, edge-padding to a common pivot width.
+    """
+    if store is not None:
+        rows = [store.row_for(candidate) for candidate in candidates]
+        if all(row is not None for row in rows):
+            index = _np.fromiter(rows, dtype=_np.intp, count=len(rows))
+            return (store.dist_lb[index], store.dist_ub[index],
+                    store.tok_min[index], store.tok_max[index],
+                    store.may_kw[index], store.limits[index],
+                    store.totals[index])
+    packed = [ensure_packed(candidate) for candidate in candidates]
+    width = max(block.dist_lb.shape[1] for block in packed)
+
+    def pad(array):
+        missing = width - array.shape[1]
+        if missing == 0:
+            return array
+        return _np.pad(array, ((0, 0), (0, missing)), mode="edge")
+
+    dist_lb = _np.stack([pad(block.dist_lb) for block in packed])
+    dist_ub = _np.stack([pad(block.dist_ub) for block in packed])
+    tok_min = _np.stack([block.tok_min for block in packed])
+    tok_max = _np.stack([block.tok_max for block in packed])
+    may_kw = _np.fromiter((block.may_have_keyword for block in packed),
+                          dtype=bool, count=len(packed))
+    limits = _np.fromiter((block.pivot_limit for block in packed),
+                          dtype=_np.int64, count=len(packed))
+    totals = _np.array([(block.total_exp0, block.total_lb0, block.total_ub0)
+                        for block in packed])
+    return dist_lb, dist_ub, tok_min, tok_max, may_kw, limits, totals
+
+
+def _sequential_sum(stacked, axis_length: int):
+    """Left-to-right float accumulation over the attribute axis.
+
+    Replicates the scalar loops' ``total = 0.0; total += term`` operation
+    order element-for-element (numpy's ``sum`` may use pairwise summation,
+    which can differ in the last ulp), keeping the kernel bit-identical to
+    the scalar bounds.
+    """
+    total = _np.zeros(stacked.shape[:1] + stacked.shape[2:])
+    for attribute in range(axis_length):
+        total = total + stacked[:, attribute]
+    return total
+
+
+def batch_prune(query: RecordSynopsis,
+                candidates: Sequence[RecordSynopsis],
+                keywords: FrozenSet[str], gamma: float, alpha: float,
+                use_topic: bool = True, use_similarity: bool = True,
+                use_probability: bool = True,
+                store: Optional[PackedStore] = None):
+    """Theorems 4.1–4.3 for one query against its whole candidate list.
+
+    Returns ``(alive, pruned_topic, pruned_similarity, pruned_probability)``
+    where ``alive`` is the boolean survivor mask over ``candidates`` (in
+    order) and the counters attribute each pruned pair to the first strategy
+    that eliminated it, exactly like the scalar cascade.  Survivor-for-
+    survivor and count-for-count identical to evaluating
+    :func:`topic_keyword_prune` / :func:`similarity_prune` /
+    :func:`probability_prune` per pair: the bound arithmetic performs the
+    same IEEE operations on the same operands, only batched.
+    """
+    if _np is None:
+        raise RuntimeError("numpy is required for batch_prune")
+    count = len(candidates)
+    query_packed = ensure_packed(query)
+    (cand_lb, cand_ub, cand_tok_min, cand_tok_max,
+     cand_may_kw, cand_limits, cand_totals) = _stack_candidates(candidates,
+                                                                store)
+
+    alive = _np.ones(count, dtype=bool)
+    pruned_topic = 0
+    pruned_similarity = 0
+    pruned_probability = 0
+
+    # --- Theorem 4.1: topic keyword pruning --------------------------------
+    if use_topic and keywords and not query_packed.may_have_keyword:
+        topic_mask = ~cand_may_kw
+        pruned_topic = int(_np.count_nonzero(topic_mask))
+        alive &= ~topic_mask
+
+    dimensionality = query_packed.dist_lb.shape[0]
+
+    # --- Theorem 4.2: similarity upper bound (Lemmas 4.1 + 4.2) ------------
+    if use_similarity and alive.any():
+        per_attribute = attribute_similarity_upper_bound_batch(
+            query_packed.tok_min, query_packed.tok_max,
+            cand_tok_min, cand_tok_max)
+        size_bound = _sequential_sum(per_attribute, dimensionality)
+
+        width = min(query_packed.dist_lb.shape[1], cand_lb.shape[2])
+        q_lb = query_packed.dist_lb[_np.newaxis, :, :width]
+        q_ub = query_packed.dist_ub[_np.newaxis, :, :width]
+        c_lb = cand_lb[:, :, :width]
+        c_ub = cand_ub[:, :, :width]
+        # min_attribute_distance: only one of the two differences can be
+        # positive (disjoint intervals), so the max-of-three formulation is
+        # bit-identical to the scalar branches.
+        min_distance = _np.maximum(0.0, _np.maximum(q_lb - c_ub, c_lb - q_ub))
+        pivot_bounds = float(dimensionality) - _sequential_sum(
+            min_distance, dimensionality)
+        # The scalar loop consults exactly min(left, right) pivots per pair;
+        # mask the padded / extra columns out of the running minimum.  With
+        # one shared pivot table every limit covers the full width and the
+        # masking is skipped.
+        limits = _np.minimum(cand_limits, query_packed.pivot_limit)
+        if int(limits.min(initial=width)) < width:
+            invalid = (_np.arange(width)[_np.newaxis, :]
+                       >= limits[:, _np.newaxis])
+            pivot_bounds = _np.where(invalid, _np.inf, pivot_bounds)
+        best = _np.minimum(size_bound, pivot_bounds.min(axis=1))
+        similarity_mask = alive & (best <= gamma)
+        pruned_similarity = int(_np.count_nonzero(similarity_mask))
+        alive &= ~similarity_mask
+
+    # --- Theorem 4.3: Paley–Zygmund probability upper bound ----------------
+    if use_probability and alive.any():
+        margin = dimensionality - gamma
+        query_exp = query_packed.total_exp0
+        query_lb = query_packed.total_lb0
+        query_ub = query_packed.total_ub0
+        cand_exp0 = cand_totals[:, 0]
+        cand_lb0 = cand_totals[:, 1]
+        cand_ub0 = cand_totals[:, 2]
+        # Overlapping total-distance intervals fall through to a bound of
+        # 1.0 in the scalar code; only the disjoint lanes need the exact
+        # Lemma 4.3 arithmetic, which runs through the shared scalar helper
+        # so that even the libm-pow squaring matches bit-for-bit.
+        disjoint = (query_lb >= cand_ub0) | (cand_lb0 >= query_ub)
+        probability_mask = alive & _np.full(count, 1.0 <= alpha, dtype=bool)
+        for lane in _np.nonzero(alive & disjoint)[0]:
+            value = paley_zygmund_bound_from_totals(
+                margin, query_exp, query_lb, query_ub,
+                float(cand_exp0[lane]), float(cand_lb0[lane]),
+                float(cand_ub0[lane]))
+            probability_mask[lane] = value <= alpha
+        pruned_probability = int(_np.count_nonzero(probability_mask))
+        alive &= ~probability_mask
+
+    return alive, pruned_topic, pruned_similarity, pruned_probability

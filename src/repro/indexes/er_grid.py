@@ -19,7 +19,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.pruning import RecordSynopsis, min_attribute_distance
+from repro.core.pruning import (
+    HAS_NUMPY,
+    PackedStore,
+    RecordSynopsis,
+    min_attribute_distance,
+)
 from repro.core.tuples import ImputedRecord, Schema
 
 
@@ -106,8 +111,32 @@ class ERGrid:
         self._cells: Dict[Tuple[int, ...], GridCell] = {}
         self._record_cells: Dict[Tuple[str, str], List[Tuple[int, ...]]] = {}
         self._synopses: Dict[Tuple[str, str], RecordSynopsis] = {}
+        self._packed_store: Optional[PackedStore] = None
         self.cells_examined = 0
         self.tuples_examined = 0
+
+    # -- resident packed store ---------------------------------------------------
+    @property
+    def packed_store(self) -> Optional[PackedStore]:
+        """The resident columnar synopsis store (``None`` until enabled)."""
+        return self._packed_store
+
+    def enable_packed_store(self) -> Optional[PackedStore]:
+        """Keep a columnar :class:`PackedStore` in sync with the grid.
+
+        Enabled on demand by the vectorized refinement path (so the serial
+        executor pays nothing); on first call the current window contents
+        are back-filled, afterwards :meth:`insert` / :meth:`remove` maintain
+        the store incrementally.  A no-op returning ``None`` without numpy.
+        """
+        if not HAS_NUMPY:
+            return None
+        if self._packed_store is None:
+            store = PackedStore()
+            for synopsis in self._synopses.values():
+                store.insert(synopsis)
+            self._packed_store = store
+        return self._packed_store
 
     # -- coordinate helpers ------------------------------------------------------
     def _bucket(self, value: float) -> int:
@@ -180,6 +209,8 @@ class ERGrid:
             cell_keys.append(coordinates)
         self._record_cells[key] = cell_keys
         self._synopses[key] = synopsis
+        if self._packed_store is not None:
+            self._packed_store.insert(synopsis)
 
     def remove(self, rid: str, source: str) -> bool:
         """Evict one (expired) tuple (Algorithm 2, lines 2–7)."""
@@ -195,6 +226,8 @@ class ERGrid:
             if not cell.entries:
                 del self._cells[coordinates]
         del self._synopses[key]
+        if self._packed_store is not None:
+            self._packed_store.remove(rid, source)
         return True
 
     def synopses(self) -> List[RecordSynopsis]:

@@ -11,10 +11,22 @@ online state lives in :mod:`repro.runtime.checkpoint`.
 """
 
 from repro.runtime.checkpoint import engine_state_to_dict, restore_engine_state
-from repro.runtime.context import RuntimeContext
-from repro.runtime.evaluation import evaluate_pair_cached, instance_profiles
-from repro.runtime.executors import Executor, MicroBatchExecutor, SerialExecutor
+from repro.runtime.context import RuntimeContext, TransportStats
+from repro.runtime.evaluation import (
+    evaluate_candidates,
+    evaluate_pair_cached,
+    instance_profiles,
+    refine_pair_cached,
+)
+from repro.runtime.executors import (
+    POOL_PER_BATCH,
+    POOL_PERSISTENT,
+    Executor,
+    MicroBatchExecutor,
+    SerialExecutor,
+)
 from repro.runtime.pipeline import Pipeline
+from repro.runtime.workers import PersistentRefinementPool
 from repro.runtime.stages import (
     CandidateLookupStage,
     ImputationStage,
@@ -33,15 +45,21 @@ __all__ = [
     "MaintenanceStage",
     "MatchingStage",
     "MicroBatchExecutor",
+    "POOL_PERSISTENT",
+    "POOL_PER_BATCH",
+    "PersistentRefinementPool",
     "Pipeline",
     "RuleSelectionStage",
     "RuntimeContext",
     "SerialExecutor",
     "Stage",
     "SynopsisStage",
+    "TransportStats",
     "TupleTask",
     "engine_state_to_dict",
+    "evaluate_candidates",
     "evaluate_pair_cached",
     "instance_profiles",
+    "refine_pair_cached",
     "restore_engine_state",
 ]

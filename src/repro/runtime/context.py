@@ -36,6 +36,55 @@ from repro.metrics.timing import StageTimer
 
 
 @dataclass
+class TransportStats:
+    """Bytes/objects shipped to pooled refinement workers, per micro-batch.
+
+    Maintained by the pooled executor paths (both the per-batch pool and
+    the persistent-worker pool) so that benchmarks and operators can watch
+    the serialisation cost — the dominant overhead of pooled refinement —
+    shrink once the resident synopsis caches are warm.
+    """
+
+    batches: int = 0
+    bytes_shipped: int = 0
+    synopses_shipped: int = 0
+    orders_shipped: int = 0
+    evictions_shipped: int = 0
+    per_batch_bytes: List[int] = field(default_factory=list)
+
+    def record_batch(self, nbytes: int, synopses: int = 0, orders: int = 0,
+                     evictions: int = 0) -> None:
+        self.batches += 1
+        self.bytes_shipped += nbytes
+        self.synopses_shipped += synopses
+        self.orders_shipped += orders
+        self.evictions_shipped += evictions
+        self.per_batch_bytes.append(nbytes)
+
+    def steady_state_bytes(self, skip: Optional[int] = None) -> float:
+        """Mean bytes/batch once the caches are warm.
+
+        The first batches of a run back-fill the window (and the resident
+        worker stores), so by default the first half of the batch series is
+        treated as warm-up and the mean is taken over the second half.
+        """
+        if skip is None:
+            skip = len(self.per_batch_bytes) // 2
+        window = self.per_batch_bytes[skip:] or self.per_batch_bytes
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def reset(self) -> None:
+        self.batches = 0
+        self.bytes_shipped = 0
+        self.synopses_shipped = 0
+        self.orders_shipped = 0
+        self.evictions_shipped = 0
+        self.per_batch_bytes.clear()
+
+
+@dataclass
 class RuntimeContext:
     """All state shared by the pipeline stages of one TER-iDS operator."""
 
@@ -58,6 +107,8 @@ class RuntimeContext:
     #: Incremental rule maintainer (Section 5.5).  ``None`` in ``full``
     #: maintenance mode, where rules only change through an explicit re-mine.
     rule_maintainer: Optional[IncrementalRuleMaintainer] = None
+    #: Serialisation traffic of pooled refinement (see :class:`TransportStats`).
+    transport: TransportStats = field(default_factory=TransportStats)
 
     def __post_init__(self) -> None:
         if self.pruning is None:

@@ -24,11 +24,15 @@ batch partitions are fanned out by ER-grid region.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence, Tuple
+import pickle
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.pruning import (
+    HAS_NUMPY,
+    PackedStore,
     PruningStats,
     RecordSynopsis,
+    batch_prune,
     probability_prune,
     similarity_prune,
     topic_keyword_prune,
@@ -124,6 +128,39 @@ def exact_probability(lefts: Sequence[InstanceProfile],
     return total
 
 
+def refine_pair_cached(left: RecordSynopsis, right: RecordSynopsis,
+                       keywords: FrozenSet[str], gamma: float, alpha: float,
+                       use_instance: bool,
+                       stats: PruningStats) -> Tuple[bool, float]:
+    """Instance-level refinement (Theorem 4.4 / Eq. (2)) of one pair.
+
+    The tail of the cascade shared by the scalar per-pair path and the
+    vectorized kernel: pairs reaching it have survived the three bound
+    strategies, so only the exact (cutoff) probability and the refinement
+    counters remain.
+    """
+    left_profiles = instance_profiles(left, keywords)
+    right_profiles = instance_profiles(right, keywords)
+    has_keywords = bool(keywords)
+    if use_instance:
+        probability, is_match, pairs_checked = cutoff_probability(
+            left_profiles, right_profiles, has_keywords, gamma, alpha)
+        total_pairs = len(left_profiles) * len(right_profiles)
+        if not is_match and pairs_checked < total_pairs:
+            stats.pruned_by_instance += 1
+            return False, probability
+    else:
+        probability = exact_probability(left_profiles, right_profiles,
+                                        has_keywords, gamma)
+        is_match = probability > alpha
+
+    if is_match:
+        stats.refined_matches += 1
+    else:
+        stats.refined_non_matches += 1
+    return is_match, probability
+
+
 def evaluate_pair_cached(left: RecordSynopsis, right: RecordSynopsis,
                          keywords: FrozenSet[str], gamma: float, alpha: float,
                          use_topic: bool, use_similarity: bool,
@@ -149,26 +186,55 @@ def evaluate_pair_cached(left: RecordSynopsis, right: RecordSynopsis,
         stats.pruned_by_probability += 1
         return False, 0.0
 
-    left_profiles = instance_profiles(left, keywords)
-    right_profiles = instance_profiles(right, keywords)
-    has_keywords = bool(keywords)
-    if use_instance:
-        probability, is_match, pairs_checked = cutoff_probability(
-            left_profiles, right_profiles, has_keywords, gamma, alpha)
-        total_pairs = len(left_profiles) * len(right_profiles)
-        if not is_match and pairs_checked < total_pairs:
-            stats.pruned_by_instance += 1
-            return False, probability
-    else:
-        probability = exact_probability(left_profiles, right_profiles,
-                                        has_keywords, gamma)
-        is_match = probability > alpha
+    return refine_pair_cached(left, right, keywords, gamma, alpha,
+                              use_instance, stats)
 
-    if is_match:
-        stats.refined_matches += 1
-    else:
-        stats.refined_non_matches += 1
-    return is_match, probability
+
+def evaluate_candidates(query: RecordSynopsis,
+                        candidates: Sequence[RecordSynopsis],
+                        keywords: FrozenSet[str], gamma: float, alpha: float,
+                        use_topic: bool, use_similarity: bool,
+                        use_probability: bool, use_instance: bool,
+                        stats: PruningStats, vectorized: bool = True,
+                        store: Optional[PackedStore] = None,
+                        ) -> List[Tuple[bool, float]]:
+    """Verdicts of one query against its whole candidate list (in order).
+
+    With ``vectorized`` (and numpy available) the three bound strategies run
+    through :func:`~repro.core.pruning.batch_prune` — a handful of columnar
+    array operations over the packed synopses, gathered from ``store`` when
+    the candidates are resident — and only the surviving pairs fall through
+    to the scalar instance-level refinement.  Verdicts, probabilities and
+    every counter are identical to the per-pair scalar cascade; the
+    ``vectorized=False`` path (also the automatic numpy-less fallback) *is*
+    that scalar cascade.
+    """
+    if not candidates:
+        return []
+    if not (vectorized and HAS_NUMPY):
+        return [
+            evaluate_pair_cached(
+                query, candidate, keywords=keywords, gamma=gamma, alpha=alpha,
+                use_topic=use_topic, use_similarity=use_similarity,
+                use_probability=use_probability, use_instance=use_instance,
+                stats=stats)
+            for candidate in candidates
+        ]
+    alive, pruned_topic, pruned_similarity, pruned_probability = batch_prune(
+        query, candidates, keywords=keywords, gamma=gamma, alpha=alpha,
+        use_topic=use_topic, use_similarity=use_similarity,
+        use_probability=use_probability, store=store)
+    stats.pairs_considered += len(candidates)
+    stats.pruned_by_topic += pruned_topic
+    stats.pruned_by_similarity += pruned_similarity
+    stats.pruned_by_probability += pruned_probability
+    verdicts: List[Tuple[bool, float]] = [(False, 0.0)] * len(candidates)
+    for index in alive.nonzero()[0]:
+        position = int(index)
+        verdicts[position] = refine_pair_cached(
+            query, candidates[position], keywords, gamma, alpha,
+            use_instance, stats)
+    return verdicts
 
 
 # ---------------------------------------------------------------------------
@@ -182,6 +248,7 @@ def evaluate_partition(items: Sequence[PartitionItem],
                        keywords: FrozenSet[str], gamma: float, alpha: float,
                        use_topic: bool, use_similarity: bool,
                        use_probability: bool, use_instance: bool,
+                       vectorized: bool = False,
                        ) -> Tuple[List[List[Tuple[bool, float]]], PruningStats]:
     """Evaluate one grid-region partition of a micro-batch.
 
@@ -193,12 +260,21 @@ def evaluate_partition(items: Sequence[PartitionItem],
     stats = PruningStats()
     results: List[List[Tuple[bool, float]]] = []
     for query, candidates in items:
-        verdicts: List[Tuple[bool, float]] = []
-        for candidate in candidates:
-            verdicts.append(evaluate_pair_cached(
-                query, candidate, keywords=keywords, gamma=gamma, alpha=alpha,
-                use_topic=use_topic, use_similarity=use_similarity,
-                use_probability=use_probability, use_instance=use_instance,
-                stats=stats))
-        results.append(verdicts)
+        results.append(evaluate_candidates(
+            query, candidates, keywords=keywords, gamma=gamma, alpha=alpha,
+            use_topic=use_topic, use_similarity=use_similarity,
+            use_probability=use_probability, use_instance=use_instance,
+            stats=stats, vectorized=vectorized))
     return results, stats
+
+
+def evaluate_partition_blob(blob: bytes, **kwargs
+                            ) -> Tuple[List[List[Tuple[bool, float]]],
+                                       PruningStats]:
+    """:func:`evaluate_partition` over a pre-pickled item list.
+
+    The per-batch pool path pickles each partition exactly once in the
+    parent (so the executor can account the bytes it ships) and hands the
+    blob through; the worker deserialises here.
+    """
+    return evaluate_partition(pickle.loads(blob), **kwargs)

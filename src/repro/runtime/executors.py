@@ -10,13 +10,18 @@ Two implementations of the :class:`Executor` contract:
 
   1. the *order-free* stages (rule selection, imputation, synopsis) run for
      the whole batch up front — rule selection grouped by missing-attribute
-     signature, imputation with a cross-record ``cand(s[A_j])`` cache;
+     signature, imputation with a cross-record ``cand(s[A_j])`` cache, and
+     (when vectorized) synopsis packing into columnar blocks;
   2. the *order-bound* maintenance + grid lookup run per tuple in arrival
      order (cheap), recording candidate lists and eviction events;
   3. pair refinement — the dominant cost — is evaluated as a pure function
-     of the recorded (query, candidate) synopses with cached per-instance
-     profiles, either in-process or fanned out to a ``concurrent.futures``
-     process pool sharded by ER-grid region;
+     of the recorded (query, candidate) synopses: in-process through the
+     vectorized :func:`~repro.core.pruning.batch_prune` kernel over the
+     grid's resident packed store, or fanned out by ER-grid region to
+     either a :class:`~repro.runtime.workers.PersistentRefinementPool`
+     (workers hold resident synopsis stores; only deltas and work orders
+     cross the process boundary) or a per-batch ``concurrent.futures``
+     pool (the legacy mode, which re-ships every partition's synopses);
   4. the result-set mutations (evictions, new pairs) are replayed in
      arrival order, reproducing the serial entity-result-set exactly.
 
@@ -30,18 +35,21 @@ the state mutations back into arrival order.
 from __future__ import annotations
 
 import abc
+import pickle
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.matching import MatchPair
+from repro.core.pruning import HAS_NUMPY
 from repro.core.tuples import Record
 from repro.metrics.timing import (
     STAGE_CDD_SELECTION,
     STAGE_ER,
     STAGE_IMPUTATION,
 )
-from repro.runtime.evaluation import evaluate_partition
+from repro.runtime.evaluation import evaluate_partition_blob
 from repro.runtime.pipeline import Pipeline
 from repro.runtime.stages import TupleTask
+from repro.runtime.workers import PersistentRefinementPool, SynopsisKey
 
 
 class Executor(abc.ABC):
@@ -80,6 +88,10 @@ class SerialExecutor(Executor):
 _EVICT = 0
 _EMIT = 1
 
+#: Pooled refinement modes.
+POOL_PERSISTENT = "persistent"
+POOL_PER_BATCH = "per-batch"
+
 
 class MicroBatchExecutor(Executor):
     """Micro-batch scheduling with grouped/amortised stage execution.
@@ -91,24 +103,53 @@ class MicroBatchExecutor(Executor):
         resolution, imputation candidate sets, instance profiles) at the
         cost of latency; 32–128 is a good range for the bundled workloads.
     max_workers:
-        When ``> 1``, pair refinement is fanned out to a
-        ``concurrent.futures.ProcessPoolExecutor`` with the batch
-        partitioned by ER-grid region (``ERGrid.region_of``).  Worth it only
-        when refinement is heavy (large instance counts / wide windows):
-        every partition ships its synopses to the worker, so small workloads
-        are faster in-process.  ``None`` (default) keeps everything in the
-        calling process.
+        When ``> 1``, pair refinement is fanned out to worker processes
+        with the batch partitioned by ER-grid region
+        (``ERGrid.region_of``).  Worth it only when refinement is heavy
+        (large instance counts / wide windows); small workloads are faster
+        in-process.  ``None`` (default) keeps everything in the calling
+        process.
+    vectorized:
+        Evaluate the three bound strategies (Theorems 4.1–4.3) through the
+        columnar :func:`~repro.core.pruning.batch_prune` kernel instead of
+        per-pair scalar calls.  Defaults to ``None`` = auto (on when numpy
+        is importable); forced ``True`` raises without numpy, ``False``
+        keeps the scalar cascade.  Verdicts and counters are identical
+        either way.
+    pool_mode:
+        How ``max_workers > 1`` fans refinement out:
+
+        * ``"persistent"`` (default) — a
+          :class:`~repro.runtime.workers.PersistentRefinementPool` whose
+          workers keep resident synopsis stores; the executor ships only
+          synopsis deltas, ``(query, candidates)`` key orders and eviction
+          notices, so steady-state batches stop re-pickling the window;
+        * ``"per-batch"`` — the legacy ``concurrent.futures`` pool that
+          serialises every partition's synopses each batch (kept as the
+          shipping-cost baseline; see ``TransportStats``).
     """
 
     def __init__(self, batch_size: int = 32,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 vectorized: Optional[bool] = None,
+                 pool_mode: str = POOL_PERSISTENT) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if pool_mode not in (POOL_PERSISTENT, POOL_PER_BATCH):
+            raise ValueError(
+                f"pool_mode must be {POOL_PERSISTENT!r} or {POOL_PER_BATCH!r},"
+                f" got {pool_mode!r}")
+        if vectorized and not HAS_NUMPY:
+            raise ValueError("vectorized=True requires numpy")
         self.batch_size = batch_size
         self.max_workers = max_workers
+        self.vectorized = HAS_NUMPY if vectorized is None else vectorized
+        self.pool_mode = pool_mode
         self._pool = None
+        self._persistent_pool: Optional[PersistentRefinementPool] = None
+        self._persistent_ctx = None
 
     # -- resources -----------------------------------------------------------
     def _ensure_pool(self):
@@ -118,10 +159,39 @@ class MicroBatchExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
+    def _ensure_persistent_pool(self, ctx) -> PersistentRefinementPool:
+        if self._persistent_pool is not None and self._persistent_ctx is not ctx:
+            # The executor was handed to a different engine: the workers'
+            # pivot table and pruning thresholds are that of the old
+            # operator, so tear the pool down and start fresh.
+            self._persistent_pool.close()
+            self._persistent_pool = None
+        if self._persistent_pool is None:
+            pruning = ctx.pruning
+            self._persistent_pool = PersistentRefinementPool(
+                workers=self.max_workers,
+                params={
+                    "pivots": ctx.pivots,
+                    "keywords": pruning.keywords,
+                    "gamma": pruning.gamma,
+                    "alpha": pruning.alpha,
+                    "use_topic": pruning.use_topic,
+                    "use_similarity": pruning.use_similarity,
+                    "use_probability": pruning.use_probability,
+                    "use_instance": pruning.use_instance,
+                    "vectorized": self.vectorized,
+                })
+            self._persistent_ctx = ctx
+        return self._persistent_pool
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._persistent_pool is not None:
+            self._persistent_pool.close()
+            self._persistent_pool = None
+            self._persistent_ctx = None
 
     # -- scheduling ----------------------------------------------------------
     def process_batch(self, pipeline: Pipeline,
@@ -130,6 +200,11 @@ class MicroBatchExecutor(Executor):
         if ctx.imputer.candidate_cache is None:
             # Cross-record memoisation of cand(s[A_j]) — see CDDImputer.
             ctx.imputer.candidate_cache = {}
+        pooled = self.max_workers is not None and self.max_workers > 1
+        if self.vectorized and not pooled:
+            # In-process refinement gathers candidates from the grid's
+            # resident columnar store (workers keep their own copies).
+            ctx.grid.enable_packed_store()
         tasks = [TupleTask(record=record) for record in records]
 
         # Phase 1: order-free stages over the whole batch.
@@ -137,29 +212,35 @@ class MicroBatchExecutor(Executor):
             pipeline.rule_selection.run(tasks)
         with ctx.timer.measure(STAGE_IMPUTATION):
             pipeline.imputation.run(tasks)
-            pipeline.synopsis.run(tasks)
+            pipeline.synopsis.run(tasks, packed=self.vectorized and not pooled)
 
         with ctx.timer.measure(STAGE_ER):
             # Phase 2: order-bound maintenance + candidate lookup, with the
             # result-set mutations deferred into an event log.
             events: List[Tuple[int, object]] = []
+            evicted_keys: List[SynopsisKey] = []
             for task in tasks:
                 ctx.timestamps_processed += 1
                 evicted = pipeline.maintenance.expire(task.record.source,
                                                       defer_result_set=True)
                 if evicted is not None:
-                    events.append((_EVICT, (evicted.record.rid,
-                                            evicted.record.source)))
+                    key = (evicted.record.rid, evicted.record.source)
+                    events.append((_EVICT, key))
+                    evicted_keys.append(key)
                 task.candidates = pipeline.candidates.lookup(task.synopsis)
                 events.append((_EMIT, task))
                 pipeline.maintenance.insert(task.synopsis)
 
             # Phase 3: pure pair refinement (in-process or pooled).
-            if self.max_workers is not None and self.max_workers > 1:
-                self._evaluate_pooled(pipeline, tasks)
+            if pooled:
+                if self.pool_mode == POOL_PERSISTENT:
+                    self._evaluate_persistent(pipeline, tasks, evicted_keys)
+                else:
+                    self._evaluate_pooled(pipeline, tasks)
             else:
                 for task in tasks:
-                    pipeline.matching.evaluate_pure(task)
+                    pipeline.matching.evaluate_pure(task,
+                                                    vectorized=self.vectorized)
 
             # Phase 4: replay result-set mutations in arrival order.
             result_set = ctx.result_set
@@ -172,10 +253,37 @@ class MicroBatchExecutor(Executor):
 
         return [task.matches for task in tasks]
 
-    # -- pooled refinement ---------------------------------------------------
+    # -- persistent-pool refinement ------------------------------------------
+    def _evaluate_persistent(self, pipeline: Pipeline,
+                             tasks: Sequence[TupleTask],
+                             evicted_keys: Sequence[SynopsisKey]) -> None:
+        """Ship synopsis deltas + work orders to the resident-store pool."""
+        ctx = pipeline.ctx
+        pruning = ctx.pruning
+        pool = self._ensure_persistent_pool(ctx)
+
+        task_regions = [
+            (index, ctx.grid.region_of(task.synopsis, self.max_workers))
+            for index, task in enumerate(tasks) if task.candidates
+        ]
+        verdicts_by_task, stats = pool.evaluate_batch(
+            tasks, task_regions, evicted_keys, transport=ctx.transport)
+        pruning.stats.merge(stats)
+        for index, verdicts in verdicts_by_task.items():
+            task = tasks[index]
+            for candidate, (is_match, probability) in zip(task.candidates,
+                                                          verdicts):
+                if is_match:
+                    task.matches.append(
+                        pipeline.matching.make_pair(task, candidate,
+                                                    probability))
+
+    # -- per-batch pooled refinement (legacy shipping mode) --------------------
     def _evaluate_pooled(self, pipeline: Pipeline,
                          tasks: Sequence[TupleTask]) -> None:
         """Fan pair refinement out to the process pool, sharded by region."""
+        from concurrent.futures import as_completed
+
         ctx = pipeline.ctx
         pruning = ctx.pruning
         pending = [task for task in tasks if task.candidates]
@@ -188,18 +296,36 @@ class MicroBatchExecutor(Executor):
 
         pool = self._ensure_pool()
         futures = {}
+        total_bytes = 0
+        total_synopses = 0
+        total_orders = 0
         for region, grouped in sorted(partitions.items()):
             items = [(task.synopsis, task.candidates) for task in grouped]
+            # Pickled once here (not inside ``submit``) so the shipped bytes
+            # are accounted exactly; the worker unpickles in
+            # ``evaluate_partition_blob``.
+            blob = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
+            total_bytes += len(blob)
+            total_synopses += sum(1 + len(task.candidates)
+                                  for task in grouped)
+            total_orders += len(grouped)
             future = pool.submit(
-                evaluate_partition, items,
+                evaluate_partition_blob, blob,
                 keywords=pruning.keywords, gamma=pruning.gamma,
                 alpha=pruning.alpha, use_topic=pruning.use_topic,
                 use_similarity=pruning.use_similarity,
                 use_probability=pruning.use_probability,
-                use_instance=pruning.use_instance)
+                use_instance=pruning.use_instance,
+                vectorized=self.vectorized)
             futures[future] = grouped
+        ctx.transport.record_batch(total_bytes, synopses=total_synopses,
+                                   orders=total_orders)
 
-        for future, grouped in futures.items():
+        # Merge each partition as soon as it finishes: a slow region no
+        # longer blocks the already-completed ones (pair verdicts are
+        # order-free; phase 4 replays the result set in arrival order).
+        for future in as_completed(futures):
+            grouped = futures[future]
             verdicts_per_task, partition_stats = future.result()
             pruning.stats.merge(partition_stats)
             for task, verdicts in zip(grouped, verdicts_per_task):

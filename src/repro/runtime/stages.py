@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.matching import MatchPair
-from repro.core.pruning import RecordSynopsis
+from repro.core.pruning import RecordSynopsis, ensure_packed
 from repro.core.tuples import ImputedRecord, Record
 from repro.imputation.cdd import CDDRule, discover_cdd_rules
 from repro.imputation.incremental import MaintenanceReport
@@ -161,13 +161,19 @@ class SynopsisStage:
     def __init__(self, ctx: RuntimeContext) -> None:
         self.ctx = ctx
 
-    def build(self, imputed: ImputedRecord) -> RecordSynopsis:
-        return RecordSynopsis.build(imputed, self.ctx.pivots,
-                                    self.ctx.config.keywords)
+    def build(self, imputed: ImputedRecord,
+              packed: bool = False) -> RecordSynopsis:
+        synopsis = RecordSynopsis.build(imputed, self.ctx.pivots,
+                                        self.ctx.config.keywords)
+        if packed:
+            # Build the columnar block once here (order-free, batchable)
+            # rather than lazily inside the matching stage's hot loop.
+            ensure_packed(synopsis)
+        return synopsis
 
-    def run(self, tasks: Sequence[TupleTask]) -> None:
+    def run(self, tasks: Sequence[TupleTask], packed: bool = False) -> None:
         for task in tasks:
-            task.synopsis = self.build(task.imputed)
+            task.synopsis = self.build(task.imputed, packed=packed)
 
 
 class CandidateLookupStage:
@@ -232,29 +238,35 @@ class MatchingStage:
                 task.matches.append(pair)
                 ctx.result_set.add(pair)
 
-    def evaluate_pure(self, task: TupleTask, stats=None) -> None:
+    def evaluate_pure(self, task: TupleTask, stats=None,
+                      vectorized: bool = False) -> None:
         """Side-effect-free evaluation used by the micro-batch executor.
 
         Pair verdicts are a pure function of the two synopses and the
         operator thresholds, so they may be computed out of arrival order
         (or on another process); the executor replays the result-set
         mutations in arrival order afterwards.  Uses the cached per-instance
-        profiles of :mod:`repro.runtime.evaluation`.
+        profiles of :mod:`repro.runtime.evaluation`; with ``vectorized`` the
+        three bound strategies run through the columnar
+        :func:`~repro.core.pruning.batch_prune` kernel over the ER-grid's
+        resident packed store (identical verdicts and counters).
         """
-        from repro.runtime.evaluation import evaluate_pair_cached
+        from repro.runtime.evaluation import evaluate_candidates
 
         ctx = self.ctx
         pruning = ctx.pruning
         if stats is None:
             stats = pruning.stats
-        for candidate in task.candidates:
-            is_match, probability = evaluate_pair_cached(
-                task.synopsis, candidate,
-                keywords=pruning.keywords, gamma=pruning.gamma,
-                alpha=pruning.alpha, use_topic=pruning.use_topic,
-                use_similarity=pruning.use_similarity,
-                use_probability=pruning.use_probability,
-                use_instance=pruning.use_instance, stats=stats)
+        verdicts = evaluate_candidates(
+            task.synopsis, task.candidates,
+            keywords=pruning.keywords, gamma=pruning.gamma,
+            alpha=pruning.alpha, use_topic=pruning.use_topic,
+            use_similarity=pruning.use_similarity,
+            use_probability=pruning.use_probability,
+            use_instance=pruning.use_instance, stats=stats,
+            vectorized=vectorized, store=ctx.grid.packed_store)
+        for candidate, (is_match, probability) in zip(task.candidates,
+                                                      verdicts):
             if is_match:
                 task.matches.append(self.make_pair(task, candidate,
                                                    probability))

@@ -1,0 +1,350 @@
+"""Persistent refinement workers with resident synopsis caches.
+
+The per-batch process pool (``MicroBatchExecutor`` with
+``pool_mode="per-batch"``) re-pickles every partition's query *and
+candidate* synopses on every micro-batch: a tuple stays in its window for
+``w`` arrivals and is a candidate for many queries, so in steady state the
+same synopsis crosses the process boundary dozens of times per window
+residency.  This module removes that cost:
+
+* each worker process holds a **resident synopsis store**: the
+  :class:`RecordSynopsis` objects (rebuilt once from the shipped imputed
+  records against the pivot table received at start-up) plus a columnar
+  :class:`~repro.core.pruning.PackedStore` mirror and the lazily built
+  per-instance refinement profiles, all of which survive across batches;
+* the main process ships only **deltas** — the imputed records of synopses
+  not yet resident (new arrivals and, after a checkpoint restore,
+  re-materialised window tuples), each under a small integer *handle* —
+  plus **work orders** (``(query_handle, [candidate_handles])`` per task,
+  sharded by ER-grid region) and **evictions** (handle lists, applied after
+  the batch's orders so a tuple evicted mid-batch is still resident for the
+  earlier tasks that saw it as a candidate — the same consistency the event
+  replay gives the result set).
+
+Synopses are deterministic functions of (imputed record, pivot table,
+keywords) — exactly how ``SynopsisStage`` builds them — so the rebuilt
+worker copies are bit-identical to the parent's and every verdict,
+probability and pruning counter matches the in-process paths.
+
+The protocol is self-healing: the pool tracks which object each shipped
+handle points at (identity, not just key equality), so anything the workers
+have never seen — or that was re-built in the parent, e.g. by
+``restore_checkpoint`` — is simply re-shipped with the next batch that
+references it, and the superseded handle is retired.
+
+One message per worker per batch, one response each; payloads are pickled
+once in the parent so the executor can account exactly how many bytes the
+pooled refinement ships (see
+:class:`~repro.runtime.context.TransportStats`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_module
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pruning import (
+    HAS_NUMPY,
+    PackedStore,
+    PruningStats,
+    RecordSynopsis,
+)
+from repro.core.tuples import ImputedRecord, Record
+
+#: A window/grid identity: ``(rid, source)``.
+SynopsisKey = Tuple[str, str]
+
+#: One shipped delta: ``(handle, base record, candidate distributions)``.
+Insertion = Tuple[int, Record, Dict[str, Dict[str, float]]]
+
+#: One work order: ``(task_index, query_handle, candidate_handles)``.
+WorkOrder = Tuple[int, int, List[int]]
+
+
+def _rebuild_imputed(record: Record, schema,
+                     candidates: Dict[str, Dict[str, float]]) -> ImputedRecord:
+    """Reassemble an imputed record exactly as unpickling the parent's would.
+
+    ``ImputedRecord.__init__`` re-validates the candidate distributions, but
+    the parent object may legitimately hold states construction would reject
+    (e.g. a distribution emptied after the fact — the state
+    ``RecordSynopsis.build`` guards against); pickling such an object skips
+    ``__init__``, so the delta protocol must too, or the worker diverges
+    from every in-process path.
+    """
+    imputed = ImputedRecord.__new__(ImputedRecord)
+    imputed.base = record
+    imputed.schema = schema
+    imputed.candidates = candidates
+    imputed._instances = None
+    return imputed
+
+
+def _worker_main(worker_id: int, requests, responses, params_blob: bytes) -> None:
+    """Worker loop: apply deltas, evaluate orders, apply evictions."""
+    from repro.runtime.evaluation import evaluate_candidates
+
+    params = pickle.loads(params_blob)
+    vectorized = params.pop("vectorized")
+    pivots = params.pop("pivots")
+    keywords = params["keywords"]
+    schema = pivots.schema
+    store: Dict[int, RecordSynopsis] = {}
+    packed: Optional[PackedStore] = (
+        PackedStore() if (vectorized and HAS_NUMPY) else None)
+    while True:
+        message = requests.get()
+        if message is None:
+            break
+        try:
+            insertions, orders, evictions = pickle.loads(message)
+            for handle, record, candidates in insertions:
+                imputed = _rebuild_imputed(record, schema, candidates)
+                synopsis = RecordSynopsis.build(imputed, pivots, keywords)
+                store[handle] = synopsis
+                if packed is not None:
+                    packed.insert(synopsis)
+            stats = PruningStats()
+            results: List[Tuple[int, List[Tuple[bool, float]]]] = []
+            for task_index, query_handle, candidate_handles in orders:
+                query = store[query_handle]
+                candidates = [store[handle] for handle in candidate_handles]
+                results.append((task_index, evaluate_candidates(
+                    query, candidates, stats=stats, vectorized=vectorized,
+                    store=packed, **params)))
+            for handle in evictions:
+                synopsis = store.pop(handle, None)
+                # Only drop the packed row if it still belongs to this
+                # synopsis: a same-key re-arrival may have overwritten it.
+                if (synopsis is not None and packed is not None
+                        and packed.row_for(synopsis) is not None):
+                    packed.remove(synopsis.rid, synopsis.source)
+            responses.put((worker_id, results, stats, None))
+        except Exception:  # pragma: no cover - surfaced in the parent
+            responses.put((worker_id, None, None, traceback.format_exc()))
+
+
+class PersistentRefinementPool:
+    """A fixed set of worker processes with resident synopsis stores.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; work orders are routed by
+        ``ERGrid.region_of(query) % workers`` so neighbouring queries share
+        a worker (and its warm refinement-profile caches).
+    params:
+        The per-operator configuration shipped once at start-up: the
+        ``pivots`` table the workers rebuild synopses against, ``keywords``,
+        ``gamma``, ``alpha``, the four ``use_*`` strategy toggles and
+        ``vectorized``.
+    """
+
+    def __init__(self, workers: int, params: Dict) -> None:
+        import multiprocessing
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        context = multiprocessing.get_context()
+        self._workers = workers
+        self._requests = [context.Queue() for _ in range(workers)]
+        self._responses = context.Queue()
+        blob = pickle.dumps(params, protocol=pickle.HIGHEST_PROTOCOL)
+        self._processes = [
+            context.Process(target=_worker_main,
+                            args=(index, self._requests[index],
+                                  self._responses, blob),
+                            daemon=True)
+            for index in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+        #: The current handle + parent object per key.  Identity decides
+        #: residency, so a re-built parent object (checkpoint restore)
+        #: triggers a re-ship under a fresh handle.
+        self._resident: Dict[SynopsisKey, Tuple[int, RecordSynopsis]] = {}
+        #: Which workers hold each live handle.  Deltas are shipped per
+        #: worker on first reference (region sharding keeps a tuple's
+        #: queries on one worker, so most synopses are resident exactly
+        #: once), not broadcast.
+        self._holders: Dict[int, set] = {}
+        self._next_handle = 0
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def resident_count(self) -> int:
+        """Number of synopses currently resident in every worker store."""
+        return len(self._resident)
+
+    # -- batch protocol ------------------------------------------------------
+    def _handle_for(self, synopsis: RecordSynopsis, worker: int,
+                    insertions_by_worker: Dict[int, List[Insertion]],
+                    evictions_by_worker: Dict[int, List[int]]) -> int:
+        """Resident handle of one synopsis on one worker, shipping on miss.
+
+        A key whose resident object differs from ``synopsis`` gets a fresh
+        handle and the superseded handle is retired from every holder with
+        this batch's evictions (applied after the orders run, so same-batch
+        references to the old object stay valid).
+        """
+        key = (synopsis.rid, synopsis.source)
+        entry = self._resident.get(key)
+        if entry is not None and entry[1] is synopsis:
+            handle = entry[0]
+        else:
+            if entry is not None:
+                for holder in self._holders.pop(entry[0], ()):
+                    evictions_by_worker.setdefault(holder, []).append(entry[0])
+            handle = self._next_handle
+            self._next_handle += 1
+            self._resident[key] = (handle, synopsis)
+        holders = self._holders.setdefault(handle, set())
+        if worker not in holders:
+            holders.add(worker)
+            record = synopsis.record
+            insertions_by_worker.setdefault(worker, []).append(
+                (handle, record.base, record.candidates))
+        return handle
+
+    def evaluate_batch(self, tasks: Sequence,
+                       task_regions: Sequence[Tuple[int, int]],
+                       evicted_keys: Sequence[SynopsisKey],
+                       transport=None,
+                       ) -> Tuple[Dict[int, List[Tuple[bool, float]]],
+                                  PruningStats]:
+        """Ship one micro-batch's deltas + orders; gather the verdicts.
+
+        ``task_regions`` lists ``(task_index, region)`` for every task with
+        candidates; ``tasks`` is the whole batch's task list (queries and
+        candidates are read off it).  Returns the verdict lists keyed by
+        task index plus the merged pruning counters.
+        """
+        if self._closed:
+            raise RuntimeError("the persistent refinement pool is closed")
+        insertions_by_worker: Dict[int, List[Insertion]] = {}
+        evictions_by_worker: Dict[int, List[int]] = {}
+
+        # Translate window evictions to handles *before* any same-key
+        # re-arrival of this batch re-binds the key to a fresh handle.  The
+        # handles stay resident through the orders loop (earlier tasks may
+        # still reference them as candidates — possibly from a worker that
+        # has never held them, which then receives a normal insert); their
+        # per-worker evictions are scheduled afterwards, from the final
+        # holder sets.
+        eviction_keys_seen: List[Tuple[SynopsisKey, int]] = []
+        for key in evicted_keys:
+            entry = self._resident.get(key)
+            if entry is not None:
+                eviction_keys_seen.append((key, entry[0]))
+
+        orders_by_worker: Dict[int, List[WorkOrder]] = {}
+        order_count = 0
+        for task_index, region in task_regions:
+            task = tasks[task_index]
+            worker = region % self._workers
+            query_handle = self._handle_for(
+                task.synopsis, worker, insertions_by_worker,
+                evictions_by_worker)
+            candidate_handles = [
+                self._handle_for(candidate, worker, insertions_by_worker,
+                                 evictions_by_worker)
+                for candidate in task.candidates
+            ]
+            orders_by_worker.setdefault(worker, []).append(
+                (task_index, query_handle, candidate_handles))
+            order_count += 1
+
+        # Schedule the window evictions everywhere their handle ended up,
+        # and forget bindings not superseded by a same-batch re-arrival.
+        for key, handle in eviction_keys_seen:
+            for holder in self._holders.pop(handle, ()):
+                evictions_by_worker.setdefault(holder, []).append(handle)
+            entry = self._resident.get(key)
+            if entry is not None and entry[0] == handle:
+                del self._resident[key]
+
+        workers_involved = (set(insertions_by_worker) | set(evictions_by_worker)
+                            | set(orders_by_worker))
+        if not workers_involved:
+            return {}, PruningStats()
+
+        messaged: List[int] = []
+        total_bytes = 0
+        total_insertions = 0
+        total_evictions = 0
+        for worker in sorted(workers_involved):
+            insertions = insertions_by_worker.get(worker, [])
+            evictions = evictions_by_worker.get(worker, [])
+            worker_orders = orders_by_worker.get(worker, [])
+            payload = pickle.dumps((insertions, worker_orders, evictions),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            total_bytes += len(payload)
+            total_insertions += len(insertions)
+            total_evictions += len(evictions)
+            self._requests[worker].put(payload)
+            messaged.append(worker)
+
+        merged = PruningStats()
+        verdicts: Dict[int, List[Tuple[bool, float]]] = {}
+        for _ in messaged:
+            _, results, stats, error = self._next_response()
+            if error is not None:
+                raise RuntimeError(
+                    f"persistent refinement worker failed:\n{error}")
+            merged.merge(stats)
+            for task_index, task_verdicts in results:
+                verdicts[task_index] = task_verdicts
+        if transport is not None:
+            transport.record_batch(
+                total_bytes,
+                synopses=total_insertions,
+                orders=order_count,
+                evictions=total_evictions)
+        return verdicts, merged
+
+    def _next_response(self):
+        while True:
+            try:
+                return self._responses.get(timeout=1.0)
+            except queue_module.Empty:
+                for process in self._processes:
+                    if not process.is_alive():
+                        raise RuntimeError(
+                            "persistent refinement worker "
+                            f"pid={process.pid} died "
+                            f"(exit code {process.exitcode})")
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for request_queue in self._requests:
+            try:
+                request_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5)
+        for request_queue in self._requests:
+            request_queue.close()
+            request_queue.cancel_join_thread()
+        self._responses.close()
+        self._responses.cancel_join_thread()
+        self._resident.clear()
+
+    def __enter__(self) -> "PersistentRefinementPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

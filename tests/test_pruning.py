@@ -78,6 +78,31 @@ class TestRecordSynopsis:
         low, high = synopsis.main_interval("diagnosis")
         assert low <= high
 
+    def test_build_survives_empty_possible_values(self):
+        """Regression: an empty candidate map must not crash ``build``.
+
+        ``ImputedRecord.__post_init__`` rejects empty distributions at
+        construction, but callers can end up with one later (hand-built
+        records, upstream imputers that retained nothing); ``build`` used to
+        die in ``min(sizes)``.  The attribute must behave exactly like an
+        unimputable missing value: empty token set, distance 1.0 to every
+        pivot.
+        """
+        record = Record(rid="r1", values={"symptom": "fever cough",
+                                          "diagnosis": None}, source="s1")
+        imputed = ImputedRecord(base=record, schema=SCHEMA,
+                                candidates={"diagnosis": {"flu": 1.0}})
+        imputed.candidates["diagnosis"] = {}
+        synopsis = RecordSynopsis.build(imputed, PIVOTS, KEYWORDS)
+        reference = RecordSynopsis.build(
+            ImputedRecord(base=record, schema=SCHEMA, candidates={}),
+            PIVOTS, KEYWORDS)
+        assert synopsis.token_size_bounds["diagnosis"] == (0, 0)
+        assert (synopsis.distance_bounds["diagnosis"]
+                == reference.distance_bounds["diagnosis"])
+        assert (synopsis.distance_expectations["diagnosis"]
+                == reference.distance_expectations["diagnosis"])
+
     def test_bounds_enclose_every_instance(self):
         synopsis = _synopsis("r1", "fever cough", None,
                              candidates={"diagnosis": {"flu": 0.4,

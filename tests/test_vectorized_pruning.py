@@ -1,0 +1,503 @@
+"""Differential tests: the vectorized pruning kernel and the persistent pool.
+
+The contract under test is *identity*, not just safety: the columnar
+:func:`~repro.core.pruning.batch_prune` kernel must reproduce the scalar
+cascade's survivor mask, per-strategy pruned counts, verdicts and
+probabilities bit-for-bit, for arbitrary synopses (hypothesis) and on the
+golden workloads (both executors, in-process and both pooled refinement
+modes).
+"""
+
+import json
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings, strategies as st
+
+from golden_utils import (
+    GOLDEN_WORKLOADS,
+    build_config,
+    build_workload,
+    canonical_matches,
+    golden_path,
+    run_reference,
+)
+from repro.core.config import TERiDSConfig
+from repro.core.engine import TERiDSEngine
+from repro.core.pruning import (
+    PackedStore,
+    PruningStats,
+    RecordSynopsis,
+    batch_prune,
+    ensure_packed,
+    probability_prune,
+    similarity_prune,
+    topic_keyword_prune,
+)
+from repro.core.tuples import ImputedRecord, Record, Schema
+from repro.imputation.repository import DataRepository
+from repro.indexes.pivots import PivotSelectionConfig, select_pivots
+from repro.runtime import (
+    POOL_PER_BATCH,
+    POOL_PERSISTENT,
+    MicroBatchExecutor,
+    SerialExecutor,
+    evaluate_candidates,
+    evaluate_pair_cached,
+)
+
+SCHEMA = Schema(attributes=("symptom", "diagnosis"))
+KEYWORDS = frozenset({"diabetes"})
+
+
+def _pivots():
+    samples = [
+        Record(rid="p0", values={"symptom": "fever cough chills",
+                                 "diagnosis": "flu"}),
+        Record(rid="p1", values={"symptom": "weight loss blurred vision",
+                                 "diagnosis": "diabetes"}),
+        Record(rid="p2", values={"symptom": "red eye itchy",
+                                 "diagnosis": "conjunctivitis"}),
+        Record(rid="p3", values={"symptom": "chest pain palpitation",
+                                 "diagnosis": "cardio issue"}),
+    ]
+    repository = DataRepository(schema=SCHEMA, samples=samples)
+    return select_pivots(repository, PivotSelectionConfig(buckets=5,
+                                                          min_entropy=0.3,
+                                                          max_pivots=2))
+
+
+PIVOTS = _pivots()
+
+#: Token pool for the hypothesis-generated records (overlaps the pivots so
+#: every similarity/probability branch is reachable).
+WORDS = ("fever", "cough", "chills", "weight", "loss", "blurred", "vision",
+         "diabetes", "flu", "red", "eye", "pain", "itchy", "thirst", "")
+
+
+def _make_synopsis(index, symptom, diagnosis, candidates):
+    record = Record(rid=f"r{index}", values={"symptom": symptom or None,
+                                             "diagnosis": diagnosis or None},
+                    source=f"s{index % 2}")
+    imputed = ImputedRecord(base=record, schema=SCHEMA,
+                            candidates=candidates or {})
+    return RecordSynopsis.build(imputed, PIVOTS, KEYWORDS)
+
+
+def _scalar_cascade(query, candidates, keywords, gamma, alpha,
+                    use_topic=True, use_similarity=True,
+                    use_probability=True):
+    """The three bound strategies applied per pair, with attribution."""
+    mask = []
+    counts = [0, 0, 0]
+    for candidate in candidates:
+        if use_topic and topic_keyword_prune(query, candidate, keywords):
+            counts[0] += 1
+            mask.append(False)
+            continue
+        if use_similarity and similarity_prune(query, candidate, gamma):
+            counts[1] += 1
+            mask.append(False)
+            continue
+        if use_probability and probability_prune(query, candidate, gamma,
+                                                 alpha):
+            counts[2] += 1
+            mask.append(False)
+            continue
+        mask.append(True)
+    return mask, tuple(counts)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: arbitrary synopses, arbitrary thresholds
+# ---------------------------------------------------------------------------
+value_strategy = st.lists(st.sampled_from(WORDS), min_size=0, max_size=4).map(
+    " ".join)
+candidates_strategy = st.dictionaries(
+    st.sampled_from(WORDS[:8]).filter(bool),
+    st.floats(min_value=0.05, max_value=0.33),
+    min_size=1, max_size=3)
+record_strategy = st.tuples(
+    value_strategy,
+    value_strategy,
+    st.one_of(st.none(), candidates_strategy),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    records=st.lists(record_strategy, min_size=2, max_size=8),
+    gamma=st.floats(min_value=0.1, max_value=1.9),
+    alpha=st.floats(min_value=0.05, max_value=0.95),
+    use_keywords=st.booleans(),
+)
+def test_vectorized_kernel_identical_to_scalar_cascade(records, gamma, alpha,
+                                                       use_keywords):
+    keywords = KEYWORDS if use_keywords else frozenset()
+    synopses = []
+    for index, (symptom, diagnosis, extra) in enumerate(records):
+        candidates = {"diagnosis": extra} if (extra and not diagnosis) else None
+        synopses.append(_make_synopsis(index, symptom, diagnosis, candidates))
+    query, candidates = synopses[0], synopses[1:]
+
+    alive, topic, similarity, probability = batch_prune(
+        query, candidates, keywords=keywords, gamma=gamma, alpha=alpha)
+    mask, counts = _scalar_cascade(query, candidates, keywords, gamma, alpha)
+    assert list(alive) == mask
+    assert (topic, similarity, probability) == counts
+
+    # Full verdicts (bounds + instance-level refinement) and counters.
+    vector_stats = PruningStats()
+    scalar_stats = PruningStats()
+    vectorized = evaluate_candidates(
+        query, candidates, keywords=keywords, gamma=gamma, alpha=alpha,
+        use_topic=True, use_similarity=True, use_probability=True,
+        use_instance=True, stats=vector_stats, vectorized=True)
+    scalar = evaluate_candidates(
+        query, candidates, keywords=keywords, gamma=gamma, alpha=alpha,
+        use_topic=True, use_similarity=True, use_probability=True,
+        use_instance=True, stats=scalar_stats, vectorized=False)
+    assert vectorized == scalar
+    assert vector_stats == scalar_stats
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    records=st.lists(record_strategy, min_size=2, max_size=6),
+    gamma=st.floats(min_value=0.1, max_value=1.9),
+    alpha=st.floats(min_value=0.05, max_value=0.95),
+    toggles=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+)
+def test_vectorized_kernel_respects_strategy_toggles(records, gamma, alpha,
+                                                     toggles):
+    use_topic, use_similarity, use_probability = toggles
+    synopses = [
+        _make_synopsis(index, symptom, diagnosis,
+                       {"diagnosis": extra} if (extra and not diagnosis)
+                       else None)
+        for index, (symptom, diagnosis, extra) in enumerate(records)
+    ]
+    query, candidates = synopses[0], synopses[1:]
+    alive, topic, similarity, probability = batch_prune(
+        query, candidates, keywords=KEYWORDS, gamma=gamma, alpha=alpha,
+        use_topic=use_topic, use_similarity=use_similarity,
+        use_probability=use_probability)
+    mask, counts = _scalar_cascade(query, candidates, KEYWORDS, gamma, alpha,
+                                   use_topic=use_topic,
+                                   use_similarity=use_similarity,
+                                   use_probability=use_probability)
+    assert list(alive) == mask
+    assert (topic, similarity, probability) == counts
+
+
+# ---------------------------------------------------------------------------
+# Engine-populated window: kernel + store vs scalar, pair for pair
+# ---------------------------------------------------------------------------
+def _populated_engine():
+    workload = build_workload("citations", 0.4, 7)
+    config = build_config(workload, 40)
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+    engine.run(list(workload.interleaved_records())[:120])
+    return engine, config
+
+
+def test_kernel_with_resident_store_matches_scalar_on_window():
+    engine, config = _populated_engine()
+    synopses = engine.grid.synopses()
+    assert len(synopses) > 30
+    store = PackedStore()
+    for synopsis in synopses:
+        store.insert(synopsis)
+    for query in synopses[:25]:
+        candidates = [s for s in synopses if s is not query]
+        alive, topic, similarity, probability = batch_prune(
+            query, candidates, keywords=config.keywords, gamma=config.gamma,
+            alpha=config.alpha, store=store)
+        mask, counts = _scalar_cascade(query, candidates, config.keywords,
+                                       config.gamma, config.alpha)
+        assert list(alive) == mask
+        assert (topic, similarity, probability) == counts
+
+
+def test_evaluate_candidates_verdicts_and_stats_match_scalar():
+    engine, config = _populated_engine()
+    synopses = engine.grid.synopses()
+    vector_stats = PruningStats()
+    scalar_stats = PruningStats()
+    for query in synopses[:20]:
+        candidates = [s for s in synopses if s is not query]
+        vectorized = evaluate_candidates(
+            query, candidates, keywords=config.keywords, gamma=config.gamma,
+            alpha=config.alpha, use_topic=True, use_similarity=True,
+            use_probability=True, use_instance=True, stats=vector_stats,
+            vectorized=True)
+        scalar = [
+            evaluate_pair_cached(
+                query, candidate, keywords=config.keywords,
+                gamma=config.gamma, alpha=config.alpha, use_topic=True,
+                use_similarity=True, use_probability=True, use_instance=True,
+                stats=scalar_stats)
+            for candidate in candidates
+        ]
+        assert vectorized == scalar
+    assert vector_stats == scalar_stats
+
+
+# ---------------------------------------------------------------------------
+# Golden regression: vectorized kernel on, every refinement mode
+# ---------------------------------------------------------------------------
+def _golden(dataset):
+    return json.loads(golden_path(dataset).read_text())["reference"]
+
+
+@pytest.mark.parametrize("dataset,scale,seed,window", GOLDEN_WORKLOADS)
+def test_vectorized_in_process_matches_seed_goldens(dataset, scale, seed,
+                                                    window):
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    got = run_reference(
+        lambda **kwargs: TERiDSEngine(
+            executor=MicroBatchExecutor(batch_size=16, vectorized=True),
+            **kwargs),
+        workload, config)
+    assert got == _golden(dataset)
+
+
+@pytest.mark.parametrize("pool_mode", [POOL_PERSISTENT, POOL_PER_BATCH])
+def test_vectorized_pooled_matches_seed_golden(pool_mode):
+    dataset, scale, seed, window = GOLDEN_WORKLOADS[0]
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    executor = MicroBatchExecutor(batch_size=16, max_workers=2,
+                                  vectorized=True, pool_mode=pool_mode)
+    try:
+        got = run_reference(
+            lambda **kwargs: TERiDSEngine(executor=executor, **kwargs),
+            workload, config)
+    finally:
+        executor.close()
+    assert got == _golden(dataset)
+
+
+def test_scalar_pooled_matches_seed_golden():
+    """The persistent pool is verdict-identical with the kernel off too."""
+    dataset, scale, seed, window = GOLDEN_WORKLOADS[0]
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    executor = MicroBatchExecutor(batch_size=16, max_workers=2,
+                                  vectorized=False)
+    try:
+        got = run_reference(
+            lambda **kwargs: TERiDSEngine(executor=executor, **kwargs),
+            workload, config)
+    finally:
+        executor.close()
+    assert got == _golden(dataset)
+
+
+# ---------------------------------------------------------------------------
+# Persistent pool: transport accounting + self-healing residency
+# ---------------------------------------------------------------------------
+def _transport_run(pool_mode, batch_size=16):
+    workload = build_workload("citations", 0.5, 7)
+    config = build_config(workload, 40)
+    executor = MicroBatchExecutor(batch_size=batch_size, max_workers=2,
+                                  pool_mode=pool_mode)
+    engine = TERiDSEngine(repository=workload.repository, config=config,
+                          executor=executor)
+    report = engine.run(workload.interleaved_records())
+    transport = engine.ctx.transport
+    engine.close()
+    return sorted(pair.key() for pair in report.matches), transport
+
+
+def test_persistent_pool_ships_fewer_bytes_than_per_batch():
+    per_batch_matches, per_batch = _transport_run(POOL_PER_BATCH)
+    persistent_matches, persistent = _transport_run(POOL_PERSISTENT)
+    assert persistent_matches == per_batch_matches
+    assert per_batch.batches == persistent.batches > 0
+    # Every batch re-ships the window in per-batch mode; the resident-store
+    # protocol ships each synopsis roughly once.
+    assert persistent.synopses_shipped < per_batch.synopses_shipped / 4
+    assert (persistent.steady_state_bytes()
+            < per_batch.steady_state_bytes() / 2)
+
+
+def test_persistent_pool_repairs_residency_after_restore(tmp_path):
+    """A restored engine re-ships re-built window synopses transparently."""
+    dataset, scale, seed, window = "citations", 0.5, 7, 40
+    split = 60
+
+    reference_workload = build_workload(dataset, scale, seed)
+    reference = TERiDSEngine(repository=reference_workload.repository,
+                             config=build_config(reference_workload, window))
+    reference_report = reference.run(reference_workload.interleaved_records())
+
+    workload = build_workload(dataset, scale, seed)
+    records = list(workload.interleaved_records())
+    first = TERiDSEngine(repository=workload.repository,
+                         config=build_config(workload, window))
+    matches = []
+    for record in records[:split]:
+        matches.extend(first.process(record))
+    path = tmp_path / "persistent.ckpt.json"
+    first.save_checkpoint(path)
+
+    executor = MicroBatchExecutor(batch_size=16, max_workers=2,
+                                  pool_mode=POOL_PERSISTENT)
+    resumed = TERiDSEngine(repository=workload.repository,
+                           config=build_config(workload, window),
+                           executor=executor)
+    resumed.load_checkpoint(path)
+    matches.extend(resumed.process_batch(records[split:]))
+    resumed.close()
+    assert (canonical_matches(matches)
+            == canonical_matches(reference_report.matches))
+
+
+def test_persistent_pool_matches_in_process_on_unvalidatable_record():
+    """Worker-side rebuild must mirror pickle, not re-run validation.
+
+    A record whose candidate map was emptied after construction is handled
+    by ``RecordSynopsis.build`` everywhere in-process; the delta protocol
+    rebuilds the imputed record in the worker and must tolerate (and agree
+    on) the same state instead of dying in ``ImputedRecord.__init__``.
+    """
+    from repro.core.pruning import PruningStats as Stats
+    from repro.runtime import PersistentRefinementPool, TupleTask
+
+    record = Record(rid="q1", values={"symptom": "weight loss",
+                                      "diagnosis": None}, source="s0")
+    imputed = ImputedRecord(base=record, schema=SCHEMA,
+                            candidates={"diagnosis": {"diabetes": 1.0}})
+    imputed.candidates["diagnosis"] = {}
+    query = RecordSynopsis.build(imputed, PIVOTS, KEYWORDS)
+    candidates = [_make_synopsis(index, "weight loss blurred vision",
+                                 "diabetes", None) for index in (1, 2, 3)]
+
+    expected_stats = Stats()
+    expected = evaluate_candidates(
+        query, candidates, keywords=KEYWORDS, gamma=1.0, alpha=0.3,
+        use_topic=True, use_similarity=True, use_probability=True,
+        use_instance=True, stats=expected_stats, vectorized=True)
+
+    task = TupleTask(record=record)
+    task.synopsis = query
+    task.candidates = candidates
+    pool = PersistentRefinementPool(workers=1, params={
+        "pivots": PIVOTS, "keywords": KEYWORDS, "gamma": 1.0, "alpha": 0.3,
+        "use_topic": True, "use_similarity": True, "use_probability": True,
+        "use_instance": True, "vectorized": True})
+    try:
+        verdicts, stats = pool.evaluate_batch([task], [(0, 0)], [])
+    finally:
+        pool.close()
+    assert verdicts[0] == expected
+    assert stats == expected_stats
+
+
+def test_persistent_pool_rebinds_when_executor_is_reused():
+    """Handing the executor to a second engine must not keep stale params.
+
+    The pool freezes the pivot table and thresholds at creation; a second
+    engine (different config/repository) must get a fresh pool, or its
+    verdicts would silently use the first operator's parameters.
+    """
+    executor = MicroBatchExecutor(batch_size=16, max_workers=2)
+
+    workload = build_workload("citations", 0.4, 7)
+    first = TERiDSEngine(repository=workload.repository,
+                         config=build_config(workload, 30), executor=executor)
+    first.run(list(workload.interleaved_records())[:60])
+    first_pool = executor._persistent_pool
+    assert first_pool is not None
+
+    dataset, scale, seed, window = GOLDEN_WORKLOADS[1]
+    golden_workload = build_workload(dataset, scale, seed)
+    config = build_config(golden_workload, window)
+    got = run_reference(
+        lambda **kwargs: TERiDSEngine(executor=executor, **kwargs),
+        golden_workload, config)
+    assert executor._persistent_pool is not first_pool
+    executor.close()
+    assert got == _golden(dataset)
+
+
+def test_persistent_pool_tracks_residency_and_closes_idempotently():
+    workload = build_workload("citations", 0.4, 7)
+    config = build_config(workload, 30)
+    executor = MicroBatchExecutor(batch_size=16, max_workers=2,
+                                  pool_mode=POOL_PERSISTENT)
+    engine = TERiDSEngine(repository=workload.repository, config=config,
+                          executor=executor)
+    engine.run(list(workload.interleaved_records())[:90])
+    pool = executor._persistent_pool
+    assert pool is not None
+    # Residency is bounded by what is (or recently was) referenced from the
+    # windows — it can never exceed the union of window capacities.
+    assert 0 < pool.resident_count <= 2 * config.window_size
+    engine.close()
+    engine.close()
+    assert executor._persistent_pool is None
+
+
+# ---------------------------------------------------------------------------
+# PackedStore mechanics
+# ---------------------------------------------------------------------------
+class TestPackedStore:
+    def _synopses(self, count=5):
+        return [_make_synopsis(index, "fever cough", "flu", None)
+                for index in range(count)]
+
+    def test_insert_gather_roundtrip(self):
+        store = PackedStore()
+        synopses = self._synopses()
+        rows = [store.insert(s) for s in synopses]
+        assert len(store) == len(synopses)
+        for synopsis, row in zip(synopses, rows):
+            assert store.row_for(synopsis) == row
+            packed = ensure_packed(synopsis)
+            assert np.array_equal(store.dist_lb[row], packed.dist_lb)
+            assert np.array_equal(store.tok_max[row], packed.tok_max)
+
+    def test_remove_recycles_rows(self):
+        store = PackedStore()
+        synopses = self._synopses()
+        rows = [store.insert(s) for s in synopses]
+        assert store.remove(synopses[2].rid, synopses[2].source)
+        assert store.row_for(synopses[2]) is None
+        replacement = _make_synopsis(99, "red eye", "conjunctivitis", None)
+        assert store.insert(replacement) == rows[2]
+        assert store.row_for(replacement) == rows[2]
+
+    def test_row_for_requires_identity(self):
+        """A re-built synopsis with the same key must not hit a stale row."""
+        store = PackedStore()
+        original = self._synopses(1)[0]
+        store.insert(original)
+        rebuilt = _make_synopsis(0, "fever cough", "flu", None)
+        assert rebuilt.rid == original.rid
+        assert store.row_for(original) is not None
+        assert store.row_for(rebuilt) is None
+
+    def test_growth_beyond_initial_capacity(self):
+        store = PackedStore()
+        synopses = [_make_synopsis(index, "fever", "flu", None)
+                    for index in range(130)]
+        for synopsis in synopses:
+            store.insert(synopsis)
+        assert len(store) == 130
+        assert store.row_for(synopses[-1]) is not None
+
+
+# ---------------------------------------------------------------------------
+# Executor argument surface
+# ---------------------------------------------------------------------------
+def test_micro_batch_executor_validates_new_arguments():
+    with pytest.raises(ValueError):
+        MicroBatchExecutor(batch_size=4, pool_mode="bogus")
+    executor = MicroBatchExecutor(batch_size=4)
+    assert executor.vectorized is True  # numpy present in the test env
+    assert MicroBatchExecutor(batch_size=4, vectorized=False).vectorized is False
