@@ -81,8 +81,18 @@ from repro.persistence import (
     save_repository,
     save_rules,
 )
+from repro.ingest import (
+    BatchPolicy,
+    CallbackSource,
+    IngestDriver,
+    IngestReport,
+    ReplaySource,
+    SyntheticRateSource,
+    WatermarkClock,
+)
 from repro.runtime import (
     Executor,
+    IngestStats,
     MicroBatchExecutor,
     Pipeline,
     RuntimeContext,
@@ -95,7 +105,9 @@ __all__ = [
     "ALL_BASELINES",
     "ARTree",
     "AccuracyReport",
+    "BatchPolicy",
     "CDDImputer",
+    "CallbackSource",
     "CDDIndex",
     "CDDRule",
     "DATASET_PROFILES",
@@ -108,6 +120,9 @@ __all__ = [
     "Executor",
     "ImputedRecord",
     "IncompleteDataStream",
+    "IngestDriver",
+    "IngestReport",
+    "IngestStats",
     "Instance",
     "MatchPair",
     "MicroBatchExecutor",
@@ -123,11 +138,14 @@ __all__ = [
     "PruningStats",
     "Record",
     "RecordSynopsis",
+    "ReplaySource",
     "RuntimeContext",
     "Schema",
     "SerialExecutor",
     "SlidingWindow",
     "StreamSet",
+    "SyntheticRateSource",
+    "WatermarkClock",
     "TERiDSConfig",
     "TERiDSEngine",
     "Workload",

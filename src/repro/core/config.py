@@ -67,6 +67,14 @@ class TERiDSConfig:
     use_instance_pruning:
         Individual switches for the four pruning strategies of Section 4;
         all enabled by default, disabled selectively by the ablation benches.
+    absorb_complete_tuples:
+        Online repository growth (Section 5.5 follow-up): when enabled, the
+        ingestion driver hands every *complete* arriving stream tuple to
+        ``MaintenanceStage.absorb_complete_stream_tuples`` so the repository
+        (and, in incremental/hybrid maintenance modes, the CDD rules) grows
+        from the streams themselves.  Off by default — absorbing changes
+        imputation answers, so replay determinism against the pinned goldens
+        requires the flag off.
     """
 
     schema: Schema
@@ -82,6 +90,7 @@ class TERiDSConfig:
     use_similarity_pruning: bool = True
     use_probability_pruning: bool = True
     use_instance_pruning: bool = True
+    absorb_complete_tuples: bool = False
     random_seed: int = 7
 
     def __post_init__(self) -> None:

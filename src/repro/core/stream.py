@@ -214,6 +214,11 @@ class StreamSet:
         if batch:
             yield batch
 
+    @property
+    def exhausted(self) -> bool:
+        """True when every member stream has emitted all of its records."""
+        return all(stream.exhausted for stream in self.streams)
+
     def total_records(self) -> int:
         """Total number of records across all streams."""
         return sum(len(stream) for stream in self.streams)

@@ -131,12 +131,10 @@ def run_time_based(engine, stream: TimeBatchedStream, window_duration: int):
     pairs found (before time-based eviction), mirroring ``TERiDSEngine.run``.
     """
     window = TimeBasedWindow(duration=window_duration)
+    retract = engine.pipeline.maintenance.retract
     all_matches = []
     for timestamp, batch in stream.batches():
         for record in batch:
             all_matches.extend(engine.process(record))
-            expired = window.insert(record, timestamp)
-            for old in expired:
-                engine.grid.remove(old.rid, old.source)
-                engine.result_set.remove_record(old.rid, old.source)
+            retract(window.insert(record, timestamp))
     return all_matches

@@ -11,7 +11,7 @@ online state lives in :mod:`repro.runtime.checkpoint`.
 """
 
 from repro.runtime.checkpoint import engine_state_to_dict, restore_engine_state
-from repro.runtime.context import RuntimeContext, TransportStats
+from repro.runtime.context import IngestStats, RuntimeContext, TransportStats
 from repro.runtime.evaluation import (
     evaluate_candidates,
     evaluate_pair_cached,
@@ -19,11 +19,13 @@ from repro.runtime.evaluation import (
     refine_pair_cached,
 )
 from repro.runtime.executors import (
+    POOL_AUTO,
     POOL_PER_BATCH,
     POOL_PERSISTENT,
     Executor,
     MicroBatchExecutor,
     SerialExecutor,
+    resolve_auto_pool_mode,
 )
 from repro.runtime.pipeline import Pipeline
 from repro.runtime.workers import PersistentRefinementPool
@@ -42,9 +44,11 @@ __all__ = [
     "CandidateLookupStage",
     "Executor",
     "ImputationStage",
+    "IngestStats",
     "MaintenanceStage",
     "MatchingStage",
     "MicroBatchExecutor",
+    "POOL_AUTO",
     "POOL_PERSISTENT",
     "POOL_PER_BATCH",
     "PersistentRefinementPool",
@@ -61,5 +65,6 @@ __all__ = [
     "evaluate_pair_cached",
     "instance_profiles",
     "refine_pair_cached",
+    "resolve_auto_pool_mode",
     "restore_engine_state",
 ]

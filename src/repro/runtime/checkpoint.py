@@ -51,6 +51,10 @@ def engine_state_to_dict(ctx: RuntimeContext) -> Dict:
                   "counts": dict(ctx.timer.counts)},
         "grid_counters": {"cells_examined": ctx.grid.cells_examined,
                           "tuples_examined": ctx.grid.tuples_examined},
+        # Ingestion counters (zero unless an IngestDriver feeds this
+        # context) ride along so a drain/resume cycle keeps its arrival,
+        # lateness and backpressure accounting.
+        "ingest_stats": ctx.ingest.as_dict(),
     }
     if ctx.rule_maintainer is not None:
         # Incremental rule maintenance (Section 5.5): unlike the other
@@ -117,6 +121,8 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
     grid_counters = state.get("grid_counters", {})
     ctx.grid.cells_examined = grid_counters.get("cells_examined", 0)
     ctx.grid.tuples_examined = grid_counters.get("tuples_examined", 0)
+
+    ctx.ingest.restore(state.get("ingest_stats", {}))
 
     maintainer_state = state.get("rule_maintainer")
     if maintainer_state is not None:

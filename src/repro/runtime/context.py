@@ -16,8 +16,9 @@ engine knowing about either.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.core.config import TERiDSConfig
 from repro.core.matching import EntityResultSet
@@ -84,6 +85,91 @@ class TransportStats:
         self.per_batch_bytes.clear()
 
 
+#: Retained per-batch sample count of the ingest series (latency / depth).
+INGEST_SERIES_WINDOW = 4096
+
+
+@dataclass
+class IngestStats:
+    """Arrival/backpressure accounting of the async ingestion front-end.
+
+    Maintained by :class:`~repro.ingest.driver.IngestDriver` (the asyncio
+    ingestion subsystem) next to :class:`TransportStats` so operators can
+    watch batch formation, queue depth and lateness handling in one place.
+    Lives on the runtime context — not on the driver — so the counters ride
+    in checkpoints and survive a drain/resume cycle.
+    """
+
+    tuples_ingested: int = 0
+    batches_formed: int = 0
+    #: Out-of-order arrivals held back by the watermark clock's reorder
+    #: buffer (event time behind the stream's high mark, within lateness).
+    reordered: int = 0
+    #: Elements released ahead of the watermark because the reorder buffer
+    #: hit its capacity (a stalled source was holding the watermark back).
+    force_released: int = 0
+    #: Arrivals behind the per-stream watermark, by late policy.
+    admitted_late: int = 0
+    shed_late: int = 0
+    #: Times a source reader found the arrival queue full and had to wait.
+    backpressure_waits: int = 0
+    max_queue_depth: int = 0
+    #: Complete stream tuples absorbed into the repository (gated growth).
+    absorbed_samples: int = 0
+    #: Tuples retracted from grid/result set by watermark-driven expiry.
+    expired_by_watermark: int = 0
+    #: Batch-formation trigger counts (``size`` / ``deadline`` /
+    #: ``watermark`` / ``drain``).
+    triggers: Dict[str, int] = field(default_factory=dict)
+    #: Per-batch formation latency (seconds from first enqueue to emit)
+    #: and arrival-queue depth sampled at emit time.  Bounded to the most
+    #: recent ``INGEST_SERIES_WINDOW`` batches so an indefinitely running
+    #: driver does not accrue unbounded memory; the scalar counters above
+    #: remain lifetime totals.
+    formation_latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=INGEST_SERIES_WINDOW))
+    queue_depths: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=INGEST_SERIES_WINDOW))
+
+    def record_batch(self, size: int, latency: float, queue_depth: int,
+                     trigger: str) -> None:
+        self.batches_formed += 1
+        self.tuples_ingested += size
+        self.formation_latencies.append(latency)
+        self.queue_depths.append(queue_depth)
+        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+        self.triggers[trigger] = self.triggers.get(trigger, 0) + 1
+
+    def p95_formation_latency(self) -> float:
+        """95th-percentile batch-formation latency in seconds (0 when
+        empty), over the retained window of recent batches."""
+        if not self.formation_latencies:
+            return 0.0
+        ordered = sorted(self.formation_latencies)
+        return ordered[int(0.95 * (len(ordered) - 1))]
+
+    _SCALARS = ("tuples_ingested", "batches_formed", "reordered",
+                "force_released", "admitted_late", "shed_late",
+                "backpressure_waits", "max_queue_depth", "absorbed_samples",
+                "expired_by_watermark")
+
+    def as_dict(self) -> Dict:
+        """Checkpointable summary (scalar counters + trigger counts)."""
+        state = {name: getattr(self, name) for name in self._SCALARS}
+        state["triggers"] = dict(self.triggers)
+        return state
+
+    def restore(self, state: Dict) -> None:
+        for name in self._SCALARS:
+            setattr(self, name, state.get(name, 0))
+        self.triggers = dict(state.get("triggers", {}))
+        self.formation_latencies.clear()
+        self.queue_depths.clear()
+
+    def reset(self) -> None:
+        self.restore({})
+
+
 @dataclass
 class RuntimeContext:
     """All state shared by the pipeline stages of one TER-iDS operator."""
@@ -109,6 +195,10 @@ class RuntimeContext:
     rule_maintainer: Optional[IncrementalRuleMaintainer] = None
     #: Serialisation traffic of pooled refinement (see :class:`TransportStats`).
     transport: TransportStats = field(default_factory=TransportStats)
+    #: Arrival/backpressure accounting of the async ingestion front-end
+    #: (see :class:`IngestStats`); zero unless an ``IngestDriver`` feeds
+    #: this context.
+    ingest: IngestStats = field(default_factory=IngestStats)
 
     def __post_init__(self) -> None:
         if self.pruning is None:

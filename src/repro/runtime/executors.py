@@ -91,6 +91,43 @@ _EMIT = 1
 #: Pooled refinement modes.
 POOL_PERSISTENT = "persistent"
 POOL_PER_BATCH = "per-batch"
+POOL_AUTO = "auto"
+
+#: Decision boundaries of ``pool_mode="auto"`` (pinned by unit tests).
+#: At and above this configured batch size the resident-store pool always
+#: wins: per-batch mode re-ships the whole window's synopses every batch,
+#: and the measured crossover (BENCH_runtime_batching.json, PR 3) sits well
+#: below 16 tuples/batch.
+AUTO_PERSISTENT_MIN_BATCH = 16
+#: Below that size, switch to the persistent pool once the *measured*
+#: per-batch shipping cost exceeds this many bytes per work order — at that
+#: point re-pickling dominates even small batches.
+AUTO_PERSISTENT_BYTES_PER_ORDER = 8192
+#: Minimum number of measured batches before trusting the byte estimate.
+AUTO_WARMUP_BATCHES = 2
+
+
+def resolve_auto_pool_mode(batch_size: int, transport) -> str:
+    """The ``pool_mode="auto"`` decision rule.
+
+    ``batch_size`` is the *observed* size of the batch at hand (an
+    ingestion front-end may form batches much smaller than the executor's
+    configured ``batch_size`` knob).  Static part: a batch of
+    ``AUTO_PERSISTENT_MIN_BATCH`` or more tuples always picks the
+    persistent pool.  Dynamic part: smaller batches start in per-batch
+    mode (no resident stores to maintain) and upgrade once ``transport``
+    has measured at least ``AUTO_WARMUP_BATCHES`` batches whose mean
+    shipping cost exceeds ``AUTO_PERSISTENT_BYTES_PER_ORDER`` bytes per
+    work order.
+    """
+    if batch_size >= AUTO_PERSISTENT_MIN_BATCH:
+        return POOL_PERSISTENT
+    if (transport.batches >= AUTO_WARMUP_BATCHES
+            and transport.orders_shipped > 0
+            and transport.bytes_shipped / transport.orders_shipped
+            > AUTO_PERSISTENT_BYTES_PER_ORDER):
+        return POOL_PERSISTENT
+    return POOL_PER_BATCH
 
 
 class MicroBatchExecutor(Executor):
@@ -126,7 +163,12 @@ class MicroBatchExecutor(Executor):
           notices, so steady-state batches stop re-pickling the window;
         * ``"per-batch"`` — the legacy ``concurrent.futures`` pool that
           serialises every partition's synopses each batch (kept as the
-          shipping-cost baseline; see ``TransportStats``).
+          shipping-cost baseline; see ``TransportStats``);
+        * ``"auto"`` — pick between the two from the observed batch sizes
+          and the measured ``TransportStats``
+          (:func:`resolve_auto_pool_mode`).  The choice is sticky once it
+          lands on ``"persistent"``: downgrading would throw away the
+          workers' warm resident stores.
     """
 
     def __init__(self, batch_size: int = 32,
@@ -137,10 +179,10 @@ class MicroBatchExecutor(Executor):
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if pool_mode not in (POOL_PERSISTENT, POOL_PER_BATCH):
+        if pool_mode not in (POOL_PERSISTENT, POOL_PER_BATCH, POOL_AUTO):
             raise ValueError(
-                f"pool_mode must be {POOL_PERSISTENT!r} or {POOL_PER_BATCH!r},"
-                f" got {pool_mode!r}")
+                f"pool_mode must be {POOL_PERSISTENT!r}, {POOL_PER_BATCH!r} "
+                f"or {POOL_AUTO!r}, got {pool_mode!r}")
         if vectorized and not HAS_NUMPY:
             raise ValueError("vectorized=True requires numpy")
         self.batch_size = batch_size
@@ -150,6 +192,7 @@ class MicroBatchExecutor(Executor):
         self._pool = None
         self._persistent_pool: Optional[PersistentRefinementPool] = None
         self._persistent_ctx = None
+        self._auto_choice: Optional[str] = None
 
     # -- resources -----------------------------------------------------------
     def _ensure_pool(self):
@@ -183,6 +226,28 @@ class MicroBatchExecutor(Executor):
                 })
             self._persistent_ctx = ctx
         return self._persistent_pool
+
+    def _resolve_pool_mode(self, ctx, batch_len: int) -> str:
+        """The pool mode for the batch at hand (resolves ``auto``).
+
+        ``batch_len`` is the actual number of tuples in this batch — the
+        configured ``batch_size`` knob is ignored by callers that chunk
+        their own input (e.g. the ingestion driver's adaptive batcher).
+        """
+        if self.pool_mode != POOL_AUTO:
+            return self.pool_mode
+        if self._auto_choice != POOL_PERSISTENT:
+            # Re-evaluate until the choice upgrades to persistent; after
+            # that it sticks (the workers' resident stores are warm).
+            self._auto_choice = resolve_auto_pool_mode(batch_len,
+                                                       ctx.transport)
+            if self._auto_choice == POOL_PERSISTENT and self._pool is not None:
+                # Release the warm-up phase's per-batch pool: its worker
+                # processes would otherwise sit idle alongside the
+                # persistent pool's for the executor's remaining lifetime.
+                self._pool.shutdown()
+                self._pool = None
+        return self._auto_choice
 
     def close(self) -> None:
         if self._pool is not None:
@@ -233,7 +298,8 @@ class MicroBatchExecutor(Executor):
 
             # Phase 3: pure pair refinement (in-process or pooled).
             if pooled:
-                if self.pool_mode == POOL_PERSISTENT:
+                if self._resolve_pool_mode(ctx,
+                                           len(records)) == POOL_PERSISTENT:
                     self._evaluate_persistent(pipeline, tasks, evicted_keys)
                 else:
                     self._evaluate_pooled(pipeline, tasks)

@@ -316,6 +316,23 @@ class MaintenanceStage:
             self.expire(task.record.source)
             self.insert(task.synopsis)
 
+    # -- event-time expiry (time-based windows / watermarks) -----------------
+    def retract(self, items: Sequence) -> int:
+        """Remove time-expired tuples from the ER-grid and the result set.
+
+        The count-based windows bound memory on their own; a time-based view
+        (:mod:`repro.core.time_window`) or the ingest driver's event-time
+        watermark additionally expires tuples by age, and every pair
+        involving an expired tuple must leave the reported result set.
+        ``items`` only need ``rid`` / ``source`` attributes.  Returns the
+        number of retracted items.
+        """
+        ctx = self.ctx
+        for item in items:
+            ctx.grid.remove(item.rid, item.source)
+            ctx.result_set.remove_record(item.rid, item.source)
+        return len(items)
+
     # -- evolving repository (Section 5.5) -----------------------------------
     def absorb_repository_samples(self, samples: Sequence[Record],
                                   remine_rules: bool = False,
@@ -361,6 +378,26 @@ class MaintenanceStage:
         if report.rules_changed:
             self.install_rules(report.rules)
         return report
+
+    def absorb_complete_stream_tuples(self, records: Sequence[Record]) -> int:
+        """Gated online repository growth from the streams themselves.
+
+        When ``config.absorb_complete_tuples`` is set, every *complete*
+        tuple of an arriving batch is absorbed into the repository through
+        :meth:`absorb_repository_samples` — so the DR-index grows and, in
+        incremental/hybrid maintenance modes, the CDD rules evolve with the
+        observed traffic.  Incomplete tuples are never absorbed (repository
+        samples must be complete).  Returns the number of absorbed tuples
+        (0 when the flag is off).
+        """
+        ctx = self.ctx
+        if not ctx.config.absorb_complete_tuples:
+            return 0
+        schema = ctx.schema
+        complete = [record for record in records if record.is_complete(schema)]
+        if complete:
+            self.absorb_repository_samples(complete)
+        return len(complete)
 
     def install_rules(self, rules: Sequence[CDDRule]) -> None:
         """Swap a new rule set into the runtime (see ``RuntimeContext``)."""
