@@ -23,9 +23,15 @@ from repro.core.pruning import (
     HAS_NUMPY,
     PackedStore,
     RecordSynopsis,
+    batch_cell_scan,
     min_attribute_distance,
 )
 from repro.core.tuples import ImputedRecord, Schema
+
+if HAS_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
 
 
 @dataclass
@@ -100,6 +106,89 @@ class GridCell:
         return True
 
 
+class CellStore:
+    """A resident, columnar mirror of the per-cell aggregates.
+
+    The cell-level pruning of ``candidate_synopses`` reads exactly two
+    aggregates per cell — the keyword flag and the per-attribute distance
+    intervals — so they are packed into dense arrays (``lb`` / ``ub`` of
+    shape ``(capacity, d)``, a boolean ``may_kw``) keyed by cell coordinates.
+    The grid maintains the store incrementally beside its
+    :class:`~repro.core.pruning.PackedStore`: every ``GridCell`` aggregate
+    refresh rewrites one row, evicted cells recycle their rows through a
+    free list, and the whole-grid scan becomes one
+    :func:`~repro.core.pruning.batch_cell_scan` kernel call instead of a
+    per-cell Python walk.
+    """
+
+    def __init__(self, dimensionality: int) -> None:
+        self.dimensionality = dimensionality
+        self._rows: Dict[Tuple[int, ...], int] = {}
+        self._free: List[int] = []
+        self.lb = None
+        self.ub = None
+        self.may_kw = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _grow(self, capacity: int) -> None:
+        def expand(array, shape, dtype=float):
+            fresh = _np.zeros(shape, dtype=dtype)
+            if array is not None:
+                fresh[: array.shape[0]] = array
+            return fresh
+
+        self.lb = expand(self.lb, (capacity, self.dimensionality))
+        self.ub = expand(self.ub, (capacity, self.dimensionality))
+        self.may_kw = expand(self.may_kw, (capacity,), dtype=bool)
+
+    def update(self, cell: GridCell) -> None:
+        """Write (or refresh) one cell's aggregate row."""
+        row = self._rows.get(cell.coordinates)
+        if row is None:
+            if self._free:
+                row = self._free.pop()
+            else:
+                row = len(self._rows)
+                if self.may_kw is None or row >= self.may_kw.shape[0]:
+                    self._grow(max(64, 2 * row))
+            self._rows[cell.coordinates] = row
+        for index, (low, high) in enumerate(cell.distance_intervals):
+            self.lb[row, index] = low
+            self.ub[row, index] = high
+        self.may_kw[row] = cell.may_have_keyword
+
+    def remove(self, coordinates: Tuple[int, ...]) -> bool:
+        row = self._rows.pop(coordinates, None)
+        if row is None:
+            return False
+        self._free.append(row)
+        return True
+
+    def row_of(self, coordinates: Tuple[int, ...]) -> Optional[int]:
+        return self._rows.get(coordinates)
+
+    def scan(self, rectangle: Sequence[Tuple[float, float]], margin: float,
+             require_keyword: bool):
+        """Survivor mask (by row) of the two cell-level aggregate tests.
+
+        A row survives when its min converted-space L1 distance to the query
+        rectangle is below ``margin`` and — with ``require_keyword`` — its
+        cell may contain a keyword-bearing tuple.  Free rows carry stale
+        aggregates; callers only consult rows of live cells.
+        """
+        query_lb = _np.fromiter((low for low, _ in rectangle), dtype=float,
+                                count=len(rectangle))
+        query_ub = _np.fromiter((high for _, high in rectangle), dtype=float,
+                                count=len(rectangle))
+        totals = batch_cell_scan(query_lb, query_ub, self.lb, self.ub)
+        alive = totals < margin
+        if require_keyword:
+            alive &= self.may_kw
+        return alive
+
+
 class ERGrid:
     """The ER-grid synopsis over the in-window imputed tuples of all streams."""
 
@@ -112,6 +201,8 @@ class ERGrid:
         self._record_cells: Dict[Tuple[str, str], List[Tuple[int, ...]]] = {}
         self._synopses: Dict[Tuple[str, str], RecordSynopsis] = {}
         self._packed_store: Optional[PackedStore] = None
+        self._cell_store: Optional[CellStore] = None
+        self._mutations = 0
         self.cells_examined = 0
         self.tuples_examined = 0
 
@@ -137,6 +228,30 @@ class ERGrid:
                 store.insert(synopsis)
             self._packed_store = store
         return self._packed_store
+
+    @property
+    def cell_store(self) -> Optional["CellStore"]:
+        """The resident columnar cell-aggregate store (``None`` until enabled)."""
+        return self._cell_store
+
+    def enable_cell_store(self) -> Optional["CellStore"]:
+        """Keep a columnar :class:`CellStore` in sync with the cell aggregates.
+
+        Enabled on demand by the vectorized lookup path (the serial executor
+        pays nothing); on first call the current cells are back-filled,
+        afterwards :meth:`insert` / :meth:`remove` maintain the store
+        incrementally and :meth:`candidate_synopses` scans the whole grid
+        with one :func:`~repro.core.pruning.batch_cell_scan` call.  A no-op
+        returning ``None`` without numpy.
+        """
+        if not HAS_NUMPY:
+            return None
+        if self._cell_store is None:
+            store = CellStore(len(self.schema))
+            for cell in self._cells.values():
+                store.update(cell)
+            self._cell_store = store
+        return self._cell_store
 
     # -- coordinate helpers ------------------------------------------------------
     def _bucket(self, value: float) -> int:
@@ -187,6 +302,19 @@ class ERGrid:
     def cell_count(self) -> int:
         return len(self._cells)
 
+    @property
+    def mutation_count(self) -> int:
+        """Monotone count of grid mutations (inserts + removals).
+
+        The sharded worker pool compares it against the count recorded
+        after its last batch to decide whether a residency reconciliation
+        sweep is needed at all — in steady state (every mutation flowing
+        through the batch ops) the counts match and the O(window) sweep is
+        skipped; any out-of-band mutation (checkpoint restore, event-time
+        retraction) bumps it and forces the full diff.
+        """
+        return self._mutations
+
     def contains(self, rid: str, source: str) -> bool:
         return (rid, source) in self._synopses
 
@@ -198,6 +326,7 @@ class ERGrid:
         key = (synopsis.record.rid, synopsis.record.source)
         if key in self._synopses:
             self.remove(*key)
+        self._mutations += 1
         rectangle = synopsis.coordinate_rectangle()
         cell_keys: List[Tuple[int, ...]] = []
         for coordinates in self._cells_for_rectangle(rectangle):
@@ -206,6 +335,8 @@ class ERGrid:
                 cell = GridCell(coordinates=coordinates)
                 self._cells[coordinates] = cell
             cell.add(synopsis, self.schema)
+            if self._cell_store is not None:
+                self._cell_store.update(cell)
             cell_keys.append(coordinates)
         self._record_cells[key] = cell_keys
         self._synopses[key] = synopsis
@@ -218,6 +349,7 @@ class ERGrid:
         cell_keys = self._record_cells.pop(key, None)
         if cell_keys is None:
             return False
+        self._mutations += 1
         for coordinates in cell_keys:
             cell = self._cells.get(coordinates)
             if cell is None:
@@ -225,6 +357,10 @@ class ERGrid:
             cell.remove(rid, source, self.schema)
             if not cell.entries:
                 del self._cells[coordinates]
+                if self._cell_store is not None:
+                    self._cell_store.remove(coordinates)
+            elif self._cell_store is not None:
+                self._cell_store.update(cell)
         del self._synopses[key]
         if self._packed_store is not None:
             self._packed_store.remove(rid, source)
@@ -233,6 +369,16 @@ class ERGrid:
     def synopses(self) -> List[RecordSynopsis]:
         """All in-window synopses (used by exhaustive baselines and tests)."""
         return list(self._synopses.values())
+
+    def synopsis_items(self) -> List[Tuple[Tuple[str, str], RecordSynopsis]]:
+        """``((rid, source), synopsis)`` pairs in grid insertion order.
+
+        The sharded worker pool reconciles its resident replicas against
+        this view each batch (identity-checked), which is what makes the
+        residency protocol self-healing after a checkpoint restore or an
+        out-of-band retraction.
+        """
+        return list(self._synopses.items())
 
     # -- candidate retrieval -------------------------------------------------------
     def _cell_min_distance(self, cell: GridCell,
@@ -273,21 +419,44 @@ class ERGrid:
         margin = len(self.schema) - gamma
         seen: Set[Tuple[str, str]] = set()
         results: List[RecordSynopsis] = []
+        if self._cell_store is not None and self._cells:
+            # Vectorized cell scan: both aggregate tests for every cell in
+            # one batch_cell_scan kernel call; surviving cells are then
+            # collected in the same iteration order as the scalar walk, so
+            # the candidate list (and both examination counters) are
+            # bit-identical.
+            store = self._cell_store
+            self.cells_examined += len(self._cells)
+            alive = store.scan(
+                rectangle, margin,
+                require_keyword=bool(keywords) and not query.may_have_keyword)
+            for coordinates, cell in self._cells.items():
+                if not alive[store.row_of(coordinates)]:
+                    continue
+                self._collect_cell(cell, query, seen, results, exclude_source)
+            return results
         for cell in self._cells.values():
             self.cells_examined += 1
             if keywords and not query.may_have_keyword and not cell.may_have_keyword:
                 continue
             if self._cell_min_distance(cell, rectangle) >= margin:
                 continue
-            for key, synopsis in cell.entries.items():
-                if key in seen:
-                    continue
-                seen.add(key)
-                self.tuples_examined += 1
-                if exclude_source is not None and synopsis.record.source == exclude_source:
-                    continue
-                if (synopsis.record.rid == query.record.rid
-                        and synopsis.record.source == query.record.source):
-                    continue
-                results.append(synopsis)
+            self._collect_cell(cell, query, seen, results, exclude_source)
         return results
+
+    def _collect_cell(self, cell: GridCell, query: RecordSynopsis,
+                      seen: Set[Tuple[str, str]],
+                      results: List[RecordSynopsis],
+                      exclude_source: Optional[str]) -> None:
+        """Gather one surviving cell's tuples (shared by both scan paths)."""
+        for key, synopsis in cell.entries.items():
+            if key in seen:
+                continue
+            seen.add(key)
+            self.tuples_examined += 1
+            if exclude_source is not None and synopsis.record.source == exclude_source:
+                continue
+            if (synopsis.record.rid == query.record.rid
+                    and synopsis.record.source == query.record.source):
+                continue
+            results.append(synopsis)

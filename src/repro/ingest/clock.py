@@ -62,6 +62,7 @@ class WatermarkClock:
         self.late_policy = late_policy
         self._high: Dict[str, float] = {}
         self._closed: Dict[str, bool] = {}
+        self._idle: set = set()
         self._buffer: List[Tuple[float, int, StreamElement]] = []
         self._admitted: List[StreamElement] = []
         self._seq = 0
@@ -84,10 +85,35 @@ class WatermarkClock:
         recorded it closed (e.g. the final drain closes every stream)."""
         self.register(origin)
         self._closed[origin] = False
+        self._idle.discard(origin)
+
+    # -- idle punctuation ----------------------------------------------------
+    def mark_idle(self, origin: str) -> bool:
+        """Temporarily exclude a silent source from the global watermark.
+
+        A registered source that has stopped emitting (a stalled
+        ``CallbackSource``, a producer outage) would otherwise hold the
+        global watermark — and with it the reorder buffer and any
+        watermark-triggered batching/expiry — forever.  Marking it idle is
+        a revocable punctuation: the source rejoins the watermark
+        automatically with its next :meth:`observe`, whose element is then
+        classified against its own stream watermark as usual (it may be
+        late under the configured policy, exactly like any stale arrival).
+        Returns ``False`` when the source is already idle or closed (so
+        callers can count distinct idle transitions).
+        """
+        self.register(origin)
+        if self._closed.get(origin, False) or origin in self._idle:
+            return False
+        self._idle.add(origin)
+        return True
+
+    def is_idle(self, origin: str) -> bool:
+        return origin in self._idle
 
     # -- watermarks ----------------------------------------------------------
     def stream_watermark(self, origin: str) -> float:
-        if self._closed.get(origin, False):
+        if self._closed.get(origin, False) or origin in self._idle:
             return math.inf
         return self._high.get(origin, -math.inf) - self.lateness
 
@@ -137,6 +163,10 @@ class WatermarkClock:
         """
         origin = element.origin
         self.register(origin)
+        # A woken idle source rejoins the watermark *before* the late
+        # check — against an idle (infinite) stream watermark every
+        # arrival would count as late.
+        self._idle.discard(origin)
         element.seq = self._seq
         self._seq += 1
         if element.event_time < self.stream_watermark(origin):

@@ -112,6 +112,22 @@ class IngestDriver:
         are retracted from the ER-grid and the entity result set
         (watermark-driven expiry over the existing
         :class:`~repro.core.time_window.TimeBasedWindow` machinery).
+    idle_timeout:
+        Optional idle-source punctuation in wall-clock seconds: a source
+        with no arrival for this long is marked idle on the watermark
+        clock and stops holding the global watermark back (a stalled
+        ``CallbackSource`` no longer freezes batching, reordering and
+        event-time expiry for every other stream).  The source rejoins
+        the watermark with its next arrival, which is then subject to the
+        normal late policy.  Idle transitions are counted as
+        ``idle_timeouts`` on :class:`IngestStats`.
+    process_in_executor:
+        Run ``engine.process_batch`` on a single worker thread
+        (``loop.run_in_executor``) instead of inline on the event loop, so
+        paced sources keep producing into the arrival queue while a slow
+        refinement runs.  Batches stay strictly sequential (one in flight);
+        each off-loop invocation is counted as ``executor_waits`` on
+        :class:`IngestStats`.
     checkpoint_path / checkpoint_every_batches:
         Write a JSON checkpoint after every N processed batches (and a
         final one on drain) to ``checkpoint_path``.
@@ -131,6 +147,8 @@ class IngestDriver:
                  queue_capacity: int = 1024,
                  reorder_capacity: Optional[int] = None,
                  event_time_window: Optional[float] = None,
+                 idle_timeout: Optional[float] = None,
+                 process_in_executor: bool = False,
                  checkpoint_path=None,
                  checkpoint_every_batches: Optional[int] = None,
                  on_batch: Optional[Callable] = None,
@@ -149,6 +167,9 @@ class IngestDriver:
         if event_time_window is not None and event_time_window <= 0:
             raise ValueError(
                 f"event_time_window must be positive, got {event_time_window}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be positive, got {idle_timeout}")
         if checkpoint_every_batches is not None and checkpoint_every_batches <= 0:
             raise ValueError("checkpoint_every_batches must be positive, "
                              f"got {checkpoint_every_batches}")
@@ -162,6 +183,8 @@ class IngestDriver:
         self.reorder_capacity = (reorder_capacity if reorder_capacity
                                  is not None else 4 * queue_capacity)
         self.event_time_window = event_time_window
+        self.idle_timeout = idle_timeout
+        self.process_in_executor = process_in_executor
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every_batches = checkpoint_every_batches
         self.on_batch = on_batch
@@ -177,6 +200,15 @@ class IngestDriver:
                               if event_time_window is not None else None)
         self._max_event = -math.inf
         self._queue: Optional[asyncio.Queue] = None
+        #: Wall-clock instant of the last arrival per still-open source
+        #: (idle-timeout tracking; entries leave on close).
+        self._last_arrival: Dict[str, float] = {}
+        #: Idleness accrues only while the loop is receptive: an *inline*
+        #: ``process_batch`` blocks the event loop, so no source could have
+        #: produced during it — the floor advances past such sections so
+        #: they never count towards a source's silence.
+        self._idle_floor = 0.0
+        self._process_pool = None
         self._stopping = False
         self._ran = False
         self._checkpoint_due = False
@@ -221,34 +253,67 @@ class IngestDriver:
             # ``open`` (not ``register``): a restored checkpoint may have
             # recorded this source name closed by its final drain.
             self._clock.open(source.name)
-        if self._restored_pending:
-            # Re-enter the snapshot's batcher-pending elements in their
-            # original processing order before any new arrival.
-            now = loop.time()
-            for element in self._restored_pending:
-                self._maybe_process(self._batcher.add(element, now))
-            self._restored_pending = []
+            self._last_arrival[source.name] = loop.time()
+        self._idle_floor = loop.time()
+        if self.process_in_executor and self._process_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            # A single worker keeps batches strictly sequential (the
+            # engine is not re-entrant); the point is only that the event
+            # loop — and with it the paced source readers — stays live
+            # while a batch refines.
+            self._process_pool = ThreadPoolExecutor(max_workers=1)
         readers = [asyncio.create_task(self._read(source, queue))
                    for source in self.sources]
         open_sources = len(self.sources)
         try:
+            return await self._mux(loop, queue, readers, open_sources, start)
+        finally:
+            # The off-loop worker thread must not outlive the run — also
+            # on the exception paths (a raising engine or source).
+            if self._process_pool is not None:
+                self._process_pool.shutdown()
+                self._process_pool = None
+
+    async def _mux(self, loop, queue: asyncio.Queue, readers, open_sources,
+                   start: float) -> IngestReport:
+        """The mux loop + graceful drain of :meth:`run_async`."""
+        try:
+            if self._restored_pending:
+                # Re-enter the snapshot's batcher-pending elements in their
+                # original processing order before any new arrival is
+                # *processed* (the readers may already enqueue).
+                now = loop.time()
+                for element in self._restored_pending:
+                    await self._maybe_process(self._batcher.add(element, now))
+                self._restored_pending = []
             while open_sources > 0 and not self._stopping:
-                timeout = self._batcher.time_until_due(loop.time())
+                now = loop.time()
+                timeout = self._next_due(now)
                 try:
                     kind, payload = await asyncio.wait_for(queue.get(), timeout)
                 except asyncio.TimeoutError:
-                    self._maybe_process(
-                        self._batcher.poll(loop.time(), self._clock.watermark))
+                    now = loop.time()
+                    if self._check_idle(now):
+                        # An idle mark advances the global watermark, so
+                        # held-back elements may release: run a full pump,
+                        # not just the trigger poll.
+                        await self._pump(now)
+                    else:
+                        await self._maybe_process(
+                            self._batcher.poll(now, self._clock.watermark))
                     self._write_due_checkpoint()
                     continue
                 if kind == _STOP:
                     break
                 if kind == _CLOSE:
                     self._clock.close(payload)
+                    self._last_arrival.pop(payload, None)
                     open_sources -= 1
                 else:
                     self._observe(payload)
-                self._pump(loop.time())
+                self._check_idle(loop.time())
+                await self._pump(loop.time())
                 # Periodic checkpoints are written here, at a quiescent
                 # point: every released element is either processed or in
                 # the batcher, so the snapshot (engine state + in-flight
@@ -282,8 +347,8 @@ class IngestDriver:
                 self._clock.close(payload)
         now = loop.time()
         for element in self._clock.drain():
-            self._maybe_process(self._batcher.add(element, now))
-        self._maybe_process(self._batcher.flush(now))
+            await self._maybe_process(self._batcher.add(element, now))
+        await self._maybe_process(self._batcher.flush(now))
 
         if self.checkpoint_path is not None:
             save_checkpoint(self.checkpoint(), self.checkpoint_path)
@@ -302,12 +367,46 @@ class IngestDriver:
     def _queue_depth(self) -> int:
         return self._queue.qsize() if self._queue is not None else 0
 
+    def _next_due(self, now: float) -> Optional[float]:
+        """Seconds until the mux must wake without an arrival: the batcher
+        deadline or the next idle-source timeout, whichever comes first."""
+        due = self._batcher.time_until_due(now)
+        if self.idle_timeout is not None:
+            deadlines = [
+                max(last, self._idle_floor) + self.idle_timeout - now
+                for name, last in self._last_arrival.items()
+                if not self._clock.is_idle(name)
+            ]
+            if deadlines:
+                idle_due = max(0.0, min(deadlines))
+                due = idle_due if due is None else min(due, idle_due)
+        return due
+
+    def _check_idle(self, now: float) -> bool:
+        """Mark sources silent for ``idle_timeout`` receptive seconds as idle."""
+        if self.idle_timeout is None:
+            return False
+        marked = False
+        for name, last in self._last_arrival.items():
+            if (now - max(last, self._idle_floor) >= self.idle_timeout
+                    and self._clock.mark_idle(name)):
+                self.stats.idle_timeouts += 1
+                marked = True
+        return marked
+
     async def _read(self, source: Source, queue: asyncio.Queue) -> None:
         cancelled = False
+        loop = asyncio.get_running_loop()
         try:
             async for element in source:
                 if self._stopping:
                     break
+                # Idle tracking is stamped HERE, at true arrival time: the
+                # mux may be busy in a slow ``_process`` for longer than
+                # ``idle_timeout``, and a stamp taken at dequeue time would
+                # then mark perfectly live sources idle (and release
+                # reorder-buffered elements ahead of their queued ones).
+                self._last_arrival[source.name] = loop.time()
                 if queue.full():
                     self.stats.backpressure_waits += 1
                 await queue.put((_ITEM, element))
@@ -337,24 +436,39 @@ class IngestDriver:
         elif status == OBSERVED_LATE_SHED:
             self.stats.shed_late += 1
 
-    def _pump(self, now: float) -> None:
+    async def _pump(self, now: float) -> None:
         """Move released elements into the batcher; fire due triggers."""
         for element in self._clock.release_ready():
-            self._maybe_process(self._batcher.add(element, now))
+            await self._maybe_process(self._batcher.add(element, now))
         overflow = self._clock.release_overflow(self.reorder_capacity)
         if overflow:
             self.stats.force_released += len(overflow)
             for element in overflow:
-                self._maybe_process(self._batcher.add(element, now))
-        self._maybe_process(self._batcher.poll(now, self._clock.watermark))
+                await self._maybe_process(self._batcher.add(element, now))
+        await self._maybe_process(self._batcher.poll(now,
+                                                     self._clock.watermark))
 
-    def _maybe_process(self, batch: Optional[List[StreamElement]]) -> None:
+    async def _maybe_process(self,
+                             batch: Optional[List[StreamElement]]) -> None:
         if batch:
-            self._process(batch)
+            await self._process(batch)
 
-    def _process(self, batch: List[StreamElement]) -> None:
+    async def _process(self, batch: List[StreamElement]) -> None:
         records = [element.record for element in batch]
-        batch_matches = self.engine.process_batch(records)
+        if self._process_pool is not None:
+            # Off-loop processing: the source readers keep filling the
+            # arrival queue while the engine refines; batches remain
+            # strictly sequential (awaited one at a time).  The readers
+            # stamp arrivals throughout, so idle accounting stays live.
+            self.stats.executor_waits += 1
+            loop = asyncio.get_running_loop()
+            batch_matches = await loop.run_in_executor(
+                self._process_pool, self.engine.process_batch, records)
+        else:
+            batch_matches = self.engine.process_batch(records)
+            # The inline call blocked the loop: nothing could arrive, so
+            # the blocked span must not count towards any source's silence.
+            self._idle_floor = asyncio.get_running_loop().time()
         if self.collect_matches:
             self.matches.extend(batch_matches)
         self.batches_processed += 1

@@ -15,6 +15,7 @@ from repro.runtime.context import IngestStats, RuntimeContext, TransportStats
 from repro.runtime.evaluation import (
     evaluate_candidates,
     evaluate_pair_cached,
+    evaluate_task_batch,
     instance_profiles,
     refine_pair_cached,
 )
@@ -28,7 +29,11 @@ from repro.runtime.executors import (
     resolve_auto_pool_mode,
 )
 from repro.runtime.pipeline import Pipeline
-from repro.runtime.workers import PersistentRefinementPool
+from repro.runtime.workers import (
+    PersistentRefinementPool,
+    ResidentShard,
+    ShardedERPool,
+)
 from repro.runtime.stages import (
     CandidateLookupStage,
     ImputationStage,
@@ -53,9 +58,11 @@ __all__ = [
     "POOL_PER_BATCH",
     "PersistentRefinementPool",
     "Pipeline",
+    "ResidentShard",
     "RuleSelectionStage",
     "RuntimeContext",
     "SerialExecutor",
+    "ShardedERPool",
     "Stage",
     "SynopsisStage",
     "TransportStats",
@@ -63,6 +70,7 @@ __all__ = [
     "engine_state_to_dict",
     "evaluate_candidates",
     "evaluate_pair_cached",
+    "evaluate_task_batch",
     "instance_profiles",
     "refine_pair_cached",
     "resolve_auto_pool_mode",

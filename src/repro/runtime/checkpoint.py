@@ -55,6 +55,11 @@ def engine_state_to_dict(ctx: RuntimeContext) -> Dict:
         # context) ride along so a drain/resume cycle keeps its arrival,
         # lateness and backpressure accounting.
         "ingest_stats": ctx.ingest.as_dict(),
+        # Pooled-refinement / sharded-lookup shipping counters.  Worker
+        # residency itself is NOT persisted: the sharded pool reconciles
+        # its replicas against the restored grid on the next batch
+        # (self-healing), so only the accounting needs to survive.
+        "transport_stats": ctx.transport.as_dict(),
     }
     if ctx.rule_maintainer is not None:
         # Incremental rule maintenance (Section 5.5): unlike the other
@@ -123,6 +128,7 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
     ctx.grid.tuples_examined = grid_counters.get("tuples_examined", 0)
 
     ctx.ingest.restore(state.get("ingest_stats", {}))
+    ctx.transport.restore(state.get("transport_stats", {}))
 
     maintainer_state = state.get("rule_maintainer")
     if maintainer_state is not None:

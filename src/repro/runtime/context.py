@@ -76,13 +76,27 @@ class TransportStats:
             return 0.0
         return sum(window) / len(window)
 
-    def reset(self) -> None:
-        self.batches = 0
-        self.bytes_shipped = 0
-        self.synopses_shipped = 0
-        self.orders_shipped = 0
-        self.evictions_shipped = 0
+    _SCALARS = ("batches", "bytes_shipped", "synopses_shipped",
+                "orders_shipped", "evictions_shipped")
+
+    def as_dict(self) -> Dict:
+        """Checkpointable summary (lifetime scalar counters).
+
+        The per-batch byte series is a bounded in-memory diagnostic and is
+        deliberately not persisted; worker residency is not persisted
+        either — the sharded pool's reconciliation re-ships whatever a
+        restored run is missing (self-healing), so the counters are the
+        only transport state a resume needs.
+        """
+        return {name: getattr(self, name) for name in self._SCALARS}
+
+    def restore(self, state: Dict) -> None:
+        for name in self._SCALARS:
+            setattr(self, name, state.get(name, 0))
         self.per_batch_bytes.clear()
+
+    def reset(self) -> None:
+        self.restore({})
 
 
 #: Retained per-batch sample count of the ingest series (latency / depth).
@@ -114,6 +128,13 @@ class IngestStats:
     #: Times a source reader found the arrival queue full and had to wait.
     backpressure_waits: int = 0
     max_queue_depth: int = 0
+    #: Times a silent source was marked idle after ``idle_timeout`` seconds
+    #: without an arrival, releasing its hold on the global watermark.
+    idle_timeouts: int = 0
+    #: ``process_batch`` invocations awaited off the event loop (the
+    #: ``process_in_executor`` driver flag), during which the source
+    #: readers kept filling the arrival queue.
+    executor_waits: int = 0
     #: Complete stream tuples absorbed into the repository (gated growth).
     absorbed_samples: int = 0
     #: Tuples retracted from grid/result set by watermark-driven expiry.
@@ -150,8 +171,8 @@ class IngestStats:
 
     _SCALARS = ("tuples_ingested", "batches_formed", "reordered",
                 "force_released", "admitted_late", "shed_late",
-                "backpressure_waits", "max_queue_depth", "absorbed_samples",
-                "expired_by_watermark")
+                "backpressure_waits", "max_queue_depth", "idle_timeouts",
+                "executor_waits", "absorbed_samples", "expired_by_watermark")
 
     def as_dict(self) -> Dict:
         """Checkpointable summary (scalar counters + trigger counts)."""

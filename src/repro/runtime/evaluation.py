@@ -47,6 +47,9 @@ _PROFILE_ATTR = "_runtime_instance_profiles"
 #: One cached instance: (probability, per-attribute token sets, topic flag).
 InstanceProfile = Tuple[float, Tuple[frozenset, ...], bool]
 
+#: Attribute under which the descending-probability profile order is cached.
+_SORTED_PROFILE_ATTR = "_runtime_sorted_profiles"
+
 
 def instance_profiles(synopsis: RecordSynopsis,
                       keywords: FrozenSet[str]) -> List[InstanceProfile]:
@@ -68,6 +71,25 @@ def instance_profiles(synopsis: RecordSynopsis,
             has_topic = False
         profiles.append((instance.probability, tokens, has_topic))
     setattr(synopsis, _PROFILE_ATTR, (keywords, profiles))
+    return profiles
+
+
+def sorted_instance_profiles(synopsis: RecordSynopsis,
+                             keywords: FrozenSet[str]) -> List[InstanceProfile]:
+    """Descending-probability profiles of one synopsis, cached once.
+
+    ``cutoff_probability`` visits instances in descending probability; a
+    tuple is refined against many queries during its window residency, so
+    the sort is hoisted out of the per-pair path.  Sorting is deterministic
+    (stable sort over the same enumeration), so the cached order is exactly
+    what the per-pair sort would produce — verdicts stay bit-identical.
+    """
+    cached = getattr(synopsis, _SORTED_PROFILE_ATTR, None)
+    if cached is not None and cached[0] == keywords:
+        return cached[1]
+    profiles = sorted(instance_profiles(synopsis, keywords),
+                      key=lambda profile: -profile[0])
+    setattr(synopsis, _SORTED_PROFILE_ATTR, (keywords, profiles))
     return profiles
 
 
@@ -94,8 +116,17 @@ def cutoff_probability(lefts: Sequence[InstanceProfile],
     descending-probability visit order (stable sort over the same instance
     enumeration), same accumulation order, same bounds.
     """
-    lefts = sorted(lefts, key=lambda profile: -profile[0])
-    rights = sorted(rights, key=lambda profile: -profile[0])
+    return cutoff_probability_sorted(
+        sorted(lefts, key=lambda profile: -profile[0]),
+        sorted(rights, key=lambda profile: -profile[0]),
+        has_keywords, gamma, alpha)
+
+
+def cutoff_probability_sorted(lefts: Sequence[InstanceProfile],
+                              rights: Sequence[InstanceProfile],
+                              has_keywords: bool, gamma: float,
+                              alpha: float) -> Tuple[float, bool, int]:
+    """:func:`cutoff_probability` over already-sorted profile lists."""
     matched_mass = 0.0
     explored_mass = 0.0
     pairs_checked = 0
@@ -139,18 +170,23 @@ def refine_pair_cached(left: RecordSynopsis, right: RecordSynopsis,
     strategies, so only the exact (cutoff) probability and the refinement
     counters remain.
     """
-    left_profiles = instance_profiles(left, keywords)
-    right_profiles = instance_profiles(right, keywords)
     has_keywords = bool(keywords)
     if use_instance:
-        probability, is_match, pairs_checked = cutoff_probability(
+        # The cutoff loop visits instances in descending probability, so it
+        # reads the cached pre-sorted order (the exact list the per-pair
+        # sort would rebuild).
+        left_profiles = sorted_instance_profiles(left, keywords)
+        right_profiles = sorted_instance_profiles(right, keywords)
+        probability, is_match, pairs_checked = cutoff_probability_sorted(
             left_profiles, right_profiles, has_keywords, gamma, alpha)
         total_pairs = len(left_profiles) * len(right_profiles)
         if not is_match and pairs_checked < total_pairs:
             stats.pruned_by_instance += 1
             return False, probability
     else:
-        probability = exact_probability(left_profiles, right_profiles,
+        # The exact sum accumulates in enumeration order — keep it.
+        probability = exact_probability(instance_profiles(left, keywords),
+                                        instance_profiles(right, keywords),
                                         has_keywords, gamma)
         is_match = probability > alpha
 
@@ -220,6 +256,33 @@ def evaluate_candidates(query: RecordSynopsis,
                 stats=stats)
             for candidate in candidates
         ]
+    verdicts, survivors = _vectorized_prune_pass(
+        query, candidates, keywords=keywords, gamma=gamma, alpha=alpha,
+        use_topic=use_topic, use_similarity=use_similarity,
+        use_probability=use_probability, stats=stats, store=store)
+    for position in survivors:
+        verdicts[position] = refine_pair_cached(
+            query, candidates[position], keywords, gamma, alpha,
+            use_instance, stats)
+    return verdicts
+
+
+def _vectorized_prune_pass(query: RecordSynopsis,
+                           candidates: Sequence[RecordSynopsis],
+                           keywords: FrozenSet[str], gamma: float,
+                           alpha: float, use_topic: bool,
+                           use_similarity: bool, use_probability: bool,
+                           stats: PruningStats,
+                           store: Optional[PackedStore],
+                           ) -> Tuple[List[Tuple[bool, float]], List[int]]:
+    """The three bound strategies + counter accounting for one query.
+
+    The single authority for how the vectorized kernel's results map onto
+    the cascade's counters (shared by :func:`evaluate_candidates` and
+    :func:`evaluate_task_batch`, which only schedule the refinement tail
+    differently).  Returns the default-pruned verdict list and the
+    ascending candidate positions that fall through to refinement.
+    """
     alive, pruned_topic, pruned_similarity, pruned_probability = batch_prune(
         query, candidates, keywords=keywords, gamma=gamma, alpha=alpha,
         use_topic=use_topic, use_similarity=use_similarity,
@@ -229,12 +292,55 @@ def evaluate_candidates(query: RecordSynopsis,
     stats.pruned_by_similarity += pruned_similarity
     stats.pruned_by_probability += pruned_probability
     verdicts: List[Tuple[bool, float]] = [(False, 0.0)] * len(candidates)
-    for index in alive.nonzero()[0]:
-        position = int(index)
-        verdicts[position] = refine_pair_cached(
-            query, candidates[position], keywords, gamma, alpha,
-            use_instance, stats)
-    return verdicts
+    return verdicts, [int(index) for index in alive.nonzero()[0]]
+
+
+def evaluate_task_batch(items: Sequence[Tuple[RecordSynopsis,
+                                              Sequence[RecordSynopsis]]],
+                        keywords: FrozenSet[str], gamma: float, alpha: float,
+                        use_topic: bool, use_similarity: bool,
+                        use_probability: bool, use_instance: bool,
+                        stats: PruningStats, vectorized: bool = True,
+                        store: Optional[PackedStore] = None,
+                        ) -> List[List[Tuple[bool, float]]]:
+    """Verdicts for a whole micro-batch of ``(query, candidates)`` items.
+
+    Two passes instead of per-query interleaving: first the three bound
+    strategies run for every item (through the vectorized kernel when
+    available), then the instance-level refinement (Theorem 4.4) sweeps
+    *all* surviving pairs of the batch at once over the cached pre-sorted
+    profiles.  Verdicts, probabilities and counters are identical to
+    calling :func:`evaluate_candidates` item by item — the per-pair work is
+    a pure function of the two synopses, only the schedule changes.
+    """
+    if not (vectorized and HAS_NUMPY):
+        return [
+            evaluate_candidates(
+                query, candidates, keywords=keywords, gamma=gamma,
+                alpha=alpha, use_topic=use_topic,
+                use_similarity=use_similarity,
+                use_probability=use_probability, use_instance=use_instance,
+                stats=stats, vectorized=False)
+            for query, candidates in items
+        ]
+    verdicts_per_item: List[List[Tuple[bool, float]]] = []
+    survivors: List[Tuple[int, int, RecordSynopsis, RecordSynopsis]] = []
+    for item_index, (query, candidates) in enumerate(items):
+        if not candidates:
+            verdicts_per_item.append([])
+            continue
+        verdicts, positions = _vectorized_prune_pass(
+            query, candidates, keywords=keywords, gamma=gamma, alpha=alpha,
+            use_topic=use_topic, use_similarity=use_similarity,
+            use_probability=use_probability, stats=stats, store=store)
+        verdicts_per_item.append(verdicts)
+        for position in positions:
+            survivors.append((item_index, position, query,
+                              candidates[position]))
+    for item_index, position, query, candidate in survivors:
+        verdicts_per_item[item_index][position] = refine_pair_cached(
+            query, candidate, keywords, gamma, alpha, use_instance, stats)
+    return verdicts_per_item
 
 
 # ---------------------------------------------------------------------------

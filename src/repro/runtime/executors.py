@@ -46,10 +46,16 @@ from repro.metrics.timing import (
     STAGE_ER,
     STAGE_IMPUTATION,
 )
-from repro.runtime.evaluation import evaluate_partition_blob
+from repro.core.pruning import PruningStats
+from repro.runtime.evaluation import evaluate_partition_blob, evaluate_task_batch
 from repro.runtime.pipeline import Pipeline
 from repro.runtime.stages import TupleTask
-from repro.runtime.workers import PersistentRefinementPool, SynopsisKey
+from repro.runtime.workers import (
+    PersistentRefinementPool,
+    ShardedERPool,
+    SynopsisKey,
+    evaluate_shard_partition,
+)
 
 
 class Executor(abc.ABC):
@@ -169,12 +175,26 @@ class MicroBatchExecutor(Executor):
           (:func:`resolve_auto_pool_mode`).  The choice is sticky once it
           lands on ``"persistent"``: downgrading would throw away the
           workers' warm resident stores.
+    shard_lookup:
+        Run the *whole* ER phase — candidate lookup, pruning cascade and
+        refinement, not just refinement — on the worker pool: each worker
+        owns a resident ER-grid replica and evaluates the queries of its
+        ``ERGrid.region_of`` shard, so grid scan time scales with
+        ``max_workers`` and only matches + counters cross the process
+        boundary (main keeps a thin routing grid).  Requires
+        ``max_workers`` (the shard count; ``1`` is allowed).  Composes
+        with ``pool_mode``: ``"persistent"`` keeps the replicas resident
+        across batches (:class:`~repro.runtime.workers.ShardedERPool`),
+        ``"per-batch"`` re-ships the window snapshot every batch (the
+        stateless shipping-cost baseline).  Match sets and every counter
+        are identical to the in-process paths at any shard count.
     """
 
     def __init__(self, batch_size: int = 32,
                  max_workers: Optional[int] = None,
                  vectorized: Optional[bool] = None,
-                 pool_mode: str = POOL_PERSISTENT) -> None:
+                 pool_mode: str = POOL_PERSISTENT,
+                 shard_lookup: bool = False) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if max_workers is not None and max_workers < 1:
@@ -185,13 +205,19 @@ class MicroBatchExecutor(Executor):
                 f"or {POOL_AUTO!r}, got {pool_mode!r}")
         if vectorized and not HAS_NUMPY:
             raise ValueError("vectorized=True requires numpy")
+        if shard_lookup and max_workers is None:
+            raise ValueError("shard_lookup requires max_workers (the number "
+                             "of grid shards)")
         self.batch_size = batch_size
         self.max_workers = max_workers
         self.vectorized = HAS_NUMPY if vectorized is None else vectorized
         self.pool_mode = pool_mode
+        self.shard_lookup = shard_lookup
         self._pool = None
         self._persistent_pool: Optional[PersistentRefinementPool] = None
+        self._sharded_pool: Optional[ShardedERPool] = None
         self._persistent_ctx = None
+        self._shard_params_cache: Optional[Tuple[object, bytes]] = None
         self._auto_choice: Optional[str] = None
 
     # -- resources -----------------------------------------------------------
@@ -202,6 +228,39 @@ class MicroBatchExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
+    def _refinement_params(self, ctx) -> dict:
+        pruning = ctx.pruning
+        return {
+            "pivots": ctx.pivots,
+            "keywords": pruning.keywords,
+            "gamma": pruning.gamma,
+            "alpha": pruning.alpha,
+            "use_topic": pruning.use_topic,
+            "use_similarity": pruning.use_similarity,
+            "use_probability": pruning.use_probability,
+            "use_instance": pruning.use_instance,
+            "vectorized": self.vectorized,
+        }
+
+    def _shard_params(self, ctx) -> dict:
+        params = self._refinement_params(ctx)
+        params["cells_per_dim"] = ctx.grid.cells_per_dim
+        params["worker_count"] = self.max_workers
+        return params
+
+    def _shard_params_blob(self, ctx) -> bytes:
+        """The pickled shard params, cached per context.
+
+        The params (pivot table included) are invariant for one operator;
+        the per-batch sharded path ships them with every batch, so only
+        the serialisation is worth hoisting off the hot path.
+        """
+        if self._shard_params_cache is None or \
+                self._shard_params_cache[0] is not ctx:
+            self._shard_params_cache = (ctx, pickle.dumps(
+                self._shard_params(ctx), protocol=pickle.HIGHEST_PROTOCOL))
+        return self._shard_params_cache[1]
+
     def _ensure_persistent_pool(self, ctx) -> PersistentRefinementPool:
         if self._persistent_pool is not None and self._persistent_ctx is not ctx:
             # The executor was handed to a different engine: the workers'
@@ -210,22 +269,21 @@ class MicroBatchExecutor(Executor):
             self._persistent_pool.close()
             self._persistent_pool = None
         if self._persistent_pool is None:
-            pruning = ctx.pruning
             self._persistent_pool = PersistentRefinementPool(
                 workers=self.max_workers,
-                params={
-                    "pivots": ctx.pivots,
-                    "keywords": pruning.keywords,
-                    "gamma": pruning.gamma,
-                    "alpha": pruning.alpha,
-                    "use_topic": pruning.use_topic,
-                    "use_similarity": pruning.use_similarity,
-                    "use_probability": pruning.use_probability,
-                    "use_instance": pruning.use_instance,
-                    "vectorized": self.vectorized,
-                })
+                params=self._refinement_params(ctx))
             self._persistent_ctx = ctx
         return self._persistent_pool
+
+    def _ensure_sharded_pool(self, ctx) -> ShardedERPool:
+        if self._sharded_pool is not None and self._persistent_ctx is not ctx:
+            self._sharded_pool.close()
+            self._sharded_pool = None
+        if self._sharded_pool is None:
+            self._sharded_pool = ShardedERPool(
+                workers=self.max_workers, params=self._shard_params(ctx))
+            self._persistent_ctx = ctx
+        return self._sharded_pool
 
     def _resolve_pool_mode(self, ctx, batch_len: int) -> str:
         """The pool mode for the batch at hand (resolves ``auto``).
@@ -256,7 +314,10 @@ class MicroBatchExecutor(Executor):
         if self._persistent_pool is not None:
             self._persistent_pool.close()
             self._persistent_pool = None
-            self._persistent_ctx = None
+        if self._sharded_pool is not None:
+            self._sharded_pool.close()
+            self._sharded_pool = None
+        self._persistent_ctx = None
 
     # -- scheduling ----------------------------------------------------------
     def process_batch(self, pipeline: Pipeline,
@@ -265,11 +326,17 @@ class MicroBatchExecutor(Executor):
         if ctx.imputer.candidate_cache is None:
             # Cross-record memoisation of cand(s[A_j]) — see CDDImputer.
             ctx.imputer.candidate_cache = {}
-        pooled = self.max_workers is not None and self.max_workers > 1
-        if self.vectorized and not pooled:
-            # In-process refinement gathers candidates from the grid's
-            # resident columnar store (workers keep their own copies).
-            ctx.grid.enable_packed_store()
+        pooled = self.max_workers is not None and (self.max_workers > 1
+                                                   or self.shard_lookup)
+        sharded = pooled and self.shard_lookup
+        if self.vectorized and not sharded:
+            # Lookup runs main-side: scan the cells through the columnar
+            # aggregate store, and (in-process) gather refinement candidates
+            # from the resident packed store.  The sharded path keeps the
+            # main grid thin — the worker replicas hold their own stores.
+            ctx.grid.enable_cell_store()
+            if not pooled:
+                ctx.grid.enable_packed_store()
         tasks = [TupleTask(record=record) for record in records]
 
         # Phase 1: order-free stages over the whole batch.
@@ -278,6 +345,11 @@ class MicroBatchExecutor(Executor):
         with ctx.timer.measure(STAGE_IMPUTATION):
             pipeline.imputation.run(tasks)
             pipeline.synopsis.run(tasks, packed=self.vectorized and not pooled)
+
+        if sharded:
+            with ctx.timer.measure(STAGE_ER):
+                self._process_batch_sharded(pipeline, tasks)
+            return [task.matches for task in tasks]
 
         with ctx.timer.measure(STAGE_ER):
             # Phase 2: order-bound maintenance + candidate lookup, with the
@@ -304,9 +376,7 @@ class MicroBatchExecutor(Executor):
                 else:
                     self._evaluate_pooled(pipeline, tasks)
             else:
-                for task in tasks:
-                    pipeline.matching.evaluate_pure(task,
-                                                    vectorized=self.vectorized)
+                self._evaluate_in_process(pipeline, tasks)
 
             # Phase 4: replay result-set mutations in arrival order.
             result_set = ctx.result_set
@@ -318,6 +388,146 @@ class MicroBatchExecutor(Executor):
                         result_set.add(pair)
 
         return [task.matches for task in tasks]
+
+    # -- in-process refinement (batched Theorem 4.4 tail) ----------------------
+    def _evaluate_in_process(self, pipeline: Pipeline,
+                             tasks: Sequence[TupleTask]) -> None:
+        """Whole-batch evaluation: one bound pass per query, one
+        instance-level refinement sweep over the batch's surviving pairs."""
+        ctx = pipeline.ctx
+        pruning = ctx.pruning
+        verdict_lists = evaluate_task_batch(
+            [(task.synopsis, task.candidates) for task in tasks],
+            keywords=pruning.keywords, gamma=pruning.gamma,
+            alpha=pruning.alpha, use_topic=pruning.use_topic,
+            use_similarity=pruning.use_similarity,
+            use_probability=pruning.use_probability,
+            use_instance=pruning.use_instance, stats=pruning.stats,
+            vectorized=self.vectorized, store=ctx.grid.packed_store)
+        for task, verdicts in zip(tasks, verdict_lists):
+            for candidate, (is_match, probability) in zip(task.candidates,
+                                                          verdicts):
+                if is_match:
+                    task.matches.append(
+                        pipeline.matching.make_pair(task, candidate,
+                                                    probability))
+
+    # -- sharded ER phase (lookup + pruning + refinement worker-side) ----------
+    def _process_batch_sharded(self, pipeline: Pipeline,
+                               tasks: Sequence[TupleTask]) -> None:
+        """Phases 2–4 with the whole ER phase dispatched per grid shard.
+
+        The main process only replays window maintenance (cheap key
+        bookkeeping) and builds the arrival-ordered op list; the workers
+        replay the same ops against their resident grid replicas and run
+        lookup + pruning + refinement for their regions.  Maintenance
+        deltas piggyback on the lookup orders — one broadcast message per
+        worker per batch, matches + counters back.
+        """
+        ctx = pipeline.ctx
+        mode = self._resolve_pool_mode(ctx, len(tasks))
+        if mode == POOL_PERSISTENT:
+            pool = self._ensure_sharded_pool(ctx)
+            reconciliation = pool.begin_batch(ctx.grid)
+            window_items = None
+        else:
+            pool = None
+            reconciliation = None
+            window_items = ctx.grid.synopsis_items()
+
+        events: List[Tuple[int, object]] = []
+        task_regions: List[int] = []
+        task_evictions: List[List[SynopsisKey]] = []
+        for task in tasks:
+            ctx.timestamps_processed += 1
+            evicted = pipeline.maintenance.expire(task.record.source,
+                                                  defer_result_set=True)
+            keys: List[SynopsisKey] = []
+            if evicted is not None:
+                key = (evicted.record.rid, evicted.record.source)
+                events.append((_EVICT, key))
+                keys.append(key)
+            task_evictions.append(keys)
+            task_regions.append(ctx.grid.region_of(task.synopsis,
+                                                   self.max_workers))
+            events.append((_EMIT, task))
+            pipeline.maintenance.insert(task.synopsis)
+
+        if pool is not None:
+            matches_by_task, stats, counters = pool.evaluate_batch(
+                tasks, task_regions, task_evictions, reconciliation,
+                grid=ctx.grid, transport=ctx.transport)
+        else:
+            matches_by_task, stats, counters = self._evaluate_sharded_per_batch(
+                ctx, tasks, task_regions, task_evictions, window_items)
+        ctx.pruning.stats.merge(stats)
+        ctx.grid.cells_examined += counters[0]
+        ctx.grid.tuples_examined += counters[1]
+        for index, triples in matches_by_task.items():
+            task = tasks[index]
+            record = task.record
+            for rid, source, probability in triples:
+                task.matches.append(MatchPair(
+                    left_rid=record.rid, left_source=record.source,
+                    right_rid=rid, right_source=source,
+                    probability=probability, timestamp=record.timestamp))
+
+        result_set = ctx.result_set
+        for kind, payload in events:
+            if kind == _EVICT:
+                result_set.remove_record(*payload)
+            else:
+                for pair in payload.matches:
+                    result_set.add(pair)
+
+    def _evaluate_sharded_per_batch(self, ctx, tasks: Sequence[TupleTask],
+                                    task_regions: Sequence[int],
+                                    task_evictions: Sequence[List[SynopsisKey]],
+                                    window_items):
+        """Stateless sharded evaluation: re-ship the window every batch.
+
+        The shipping-cost baseline against the resident ``ShardedERPool``:
+        every worker receives the pre-batch window snapshot plus the op
+        list, rebuilds a transient grid replica, and evaluates its regions.
+        """
+        from concurrent.futures import as_completed
+
+        window_rows = [
+            (handle, synopsis.record.base, synopsis.record.candidates)
+            for handle, (_, synopsis) in enumerate(window_items)
+        ]
+        base = len(window_rows)
+        deltas = []
+        ops = []
+        for index, task in enumerate(tasks):
+            record = task.synopsis.record
+            deltas.append((base + index, record.base, record.candidates))
+            ops.append((index, task_evictions[index], base + index,
+                        task_regions[index]))
+        params_blob = self._shard_params_blob(ctx)
+        blob = pickle.dumps((window_rows, deltas, ops),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(evaluate_shard_partition, blob, worker, params_blob)
+            for worker in range(self.max_workers)
+        ]
+        ctx.transport.record_batch(
+            self.max_workers * (len(blob) + len(params_blob)),
+            synopses=self.max_workers * (len(window_rows) + len(deltas)),
+            orders=len(ops))
+        merged = PruningStats()
+        matches_by_task = {}
+        cells_delta = 0
+        tuples_delta = 0
+        for future in as_completed(futures):
+            results, stats, counters = future.result()
+            merged.merge(stats)
+            cells_delta += counters[0]
+            tuples_delta += counters[1]
+            for task_index, task_matches in results:
+                matches_by_task[task_index] = task_matches
+        return matches_by_task, merged, (cells_delta, tuples_delta)
 
     # -- persistent-pool refinement ------------------------------------------
     def _evaluate_persistent(self, pipeline: Pipeline,

@@ -36,6 +36,12 @@ One message per worker per batch, one response each; payloads are pickled
 once in the parent so the executor can account exactly how many bytes the
 pooled refinement ships (see
 :class:`~repro.runtime.context.TransportStats`).
+
+:class:`ShardedERPool` extends the idea to the *whole* ER phase: its
+workers own full resident ER-grid replicas (insert / remove / expire +
+candidate lookup + pruning + refinement) and evaluate the queries of their
+``ERGrid.region_of`` shard, so the grid scan scales with the worker count
+and only matches + counters cross the process boundary.
 """
 
 from __future__ import annotations
@@ -126,7 +132,95 @@ def _worker_main(worker_id: int, requests, responses, params_blob: bytes) -> Non
             responses.put((worker_id, None, None, traceback.format_exc()))
 
 
-class PersistentRefinementPool:
+class _ResidentWorkerPool:
+    """Process/queue lifecycle shared by the resident-state worker pools.
+
+    Spawns ``workers`` daemon processes running ``target(worker_id,
+    request_queue, response_queue, params_blob)``, with one request queue
+    per worker and a shared response queue; subclasses implement the batch
+    protocol on top.
+    """
+
+    _TARGET = None  # subclass worker entry point
+
+    def __init__(self, workers: int, params: Dict) -> None:
+        import multiprocessing
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        context = multiprocessing.get_context()
+        self._workers = workers
+        self._requests = [context.Queue() for _ in range(workers)]
+        self._responses = context.Queue()
+        blob = pickle.dumps(params, protocol=pickle.HIGHEST_PROTOCOL)
+        self._processes = [
+            context.Process(target=type(self)._TARGET,
+                            args=(index, self._requests[index],
+                                  self._responses, blob),
+                            daemon=True)
+            for index in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+        #: The current handle + parent object per key.  Identity decides
+        #: residency, so a re-built parent object (checkpoint restore)
+        #: triggers a re-ship under a fresh handle.
+        self._resident: Dict[SynopsisKey, Tuple[int, RecordSynopsis]] = {}
+        self._next_handle = 0
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def resident_count(self) -> int:
+        """Number of synopses currently resident in the worker stores."""
+        return len(self._resident)
+
+    def _next_response(self):
+        while True:
+            try:
+                return self._responses.get(timeout=1.0)
+            except queue_module.Empty:
+                for process in self._processes:
+                    if not process.is_alive():
+                        raise RuntimeError(
+                            f"{type(self).__name__} worker "
+                            f"pid={process.pid} died "
+                            f"(exit code {process.exitcode})")
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for request_queue in self._requests:
+            try:
+                request_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5)
+        for request_queue in self._requests:
+            request_queue.close()
+            request_queue.cancel_join_thread()
+        self._responses.close()
+        self._responses.cancel_join_thread()
+        self._resident.clear()
+
+    def __enter__(self) -> "_ResidentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PersistentRefinementPool(_ResidentWorkerPool):
     """A fixed set of worker processes with resident synopsis stores.
 
     Parameters
@@ -142,45 +236,15 @@ class PersistentRefinementPool:
         ``vectorized``.
     """
 
-    def __init__(self, workers: int, params: Dict) -> None:
-        import multiprocessing
+    _TARGET = staticmethod(_worker_main)
 
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        context = multiprocessing.get_context()
-        self._workers = workers
-        self._requests = [context.Queue() for _ in range(workers)]
-        self._responses = context.Queue()
-        blob = pickle.dumps(params, protocol=pickle.HIGHEST_PROTOCOL)
-        self._processes = [
-            context.Process(target=_worker_main,
-                            args=(index, self._requests[index],
-                                  self._responses, blob),
-                            daemon=True)
-            for index in range(workers)
-        ]
-        for process in self._processes:
-            process.start()
-        #: The current handle + parent object per key.  Identity decides
-        #: residency, so a re-built parent object (checkpoint restore)
-        #: triggers a re-ship under a fresh handle.
-        self._resident: Dict[SynopsisKey, Tuple[int, RecordSynopsis]] = {}
+    def __init__(self, workers: int, params: Dict) -> None:
+        super().__init__(workers, params)
         #: Which workers hold each live handle.  Deltas are shipped per
         #: worker on first reference (region sharding keeps a tuple's
         #: queries on one worker, so most synopses are resident exactly
         #: once), not broadcast.
         self._holders: Dict[int, set] = {}
-        self._next_handle = 0
-        self._closed = False
-
-    @property
-    def workers(self) -> int:
-        return self._workers
-
-    @property
-    def resident_count(self) -> int:
-        """Number of synopses currently resident in every worker store."""
-        return len(self._resident)
 
     # -- batch protocol ------------------------------------------------------
     def _handle_for(self, synopsis: RecordSynopsis, worker: int,
@@ -292,14 +356,23 @@ class PersistentRefinementPool:
 
         merged = PruningStats()
         verdicts: Dict[int, List[Tuple[bool, float]]] = {}
+        errors: List[str] = []
         for _ in messaged:
             _, results, stats, error = self._next_response()
             if error is not None:
-                raise RuntimeError(
-                    f"persistent refinement worker failed:\n{error}")
+                errors.append(error)
+                continue
             merged.merge(stats)
             for task_index, task_verdicts in results:
                 verdicts[task_index] = task_verdicts
+        if errors:
+            # Every response of this batch was drained above, but the
+            # resident bookkeeping no longer matches what the workers
+            # applied — tear the pool down rather than let a caller that
+            # catches the error keep using a desynchronised pool.
+            self.close()
+            raise RuntimeError(
+                f"persistent refinement worker failed:\n{errors[0]}")
         if transport is not None:
             transport.record_batch(
                 total_bytes,
@@ -308,43 +381,336 @@ class PersistentRefinementPool:
                 evictions=total_evictions)
         return verdicts, merged
 
-    def _next_response(self):
-        while True:
-            try:
-                return self._responses.get(timeout=1.0)
-            except queue_module.Empty:
-                for process in self._processes:
-                    if not process.is_alive():
-                        raise RuntimeError(
-                            "persistent refinement worker "
-                            f"pid={process.pid} died "
-                            f"(exit code {process.exitcode})")
 
-    # -- lifecycle -----------------------------------------------------------
-    def close(self) -> None:
+# ---------------------------------------------------------------------------
+# Sharded ER pool: resident grid replicas, whole ER phase worker-side
+# ---------------------------------------------------------------------------
+#: One sharded maintenance+lookup op, in arrival order:
+#: ``(task_index, evict_keys, insert_handle, region)``.  Every worker
+#: replays every op (evictions, then — for its own regions — lookup +
+#: pruning + refinement of the arriving tuple, then insertion), which keeps
+#: the grid replicas in lock-step with the main grid's arrival-order
+#: mutations; ``region % workers`` decides the single worker that evaluates
+#: the op's query.
+ShardOp = Tuple[int, List[SynopsisKey], int, int]
+
+#: One returned match: ``(candidate_rid, candidate_source, probability)``.
+ShardMatch = Tuple[str, str, float]
+
+
+class ResidentShard:
+    """One worker's resident ER-grid replica plus its evaluation state.
+
+    The replica is a *full* grid (every in-window tuple of every region):
+    cell aggregates are what the cell-level pruning reads, and a cell's
+    aggregate over a subset of its tuples is tighter than the global one —
+    a partitioned grid would prune candidates the serial walk admits and
+    diverge from the pinned counters.  Replication keeps every lookup
+    bit-identical while the *query* workload (the expensive part: cell scan,
+    pruning cascade, Theorem 4.4 refinement) is sharded by
+    ``ERGrid.region_of``.
+
+    Also used in-process by the per-batch sharded path (stateless workers
+    rebuild a shard per batch) and by the shard-determinism property tests.
+    """
+
+    def __init__(self, params: Dict, worker_id: int) -> None:
+        from repro.indexes.er_grid import ERGrid
+
+        params = dict(params)
+        self.pivots = params.pop("pivots")
+        self.vectorized = params.pop("vectorized")
+        self.worker_count = params.pop("worker_count")
+        cells_per_dim = params.pop("cells_per_dim")
+        self.worker_id = worker_id
+        self.keywords = params["keywords"]
+        self.gamma = params["gamma"]
+        #: keywords / gamma / alpha / use_* — the evaluate_candidates kwargs.
+        self.eval_params = params
+        self.schema = self.pivots.schema
+        self.grid = ERGrid(self.schema, cells_per_dim=cells_per_dim)
+        if self.vectorized:
+            self.grid.enable_packed_store()
+            self.grid.enable_cell_store()
+        self.store: Dict[int, RecordSynopsis] = {}
+
+    def apply_insertions(self, insertions: Sequence[Insertion]) -> None:
+        """Rebuild shipped synopsis deltas into the handle store."""
+        for handle, record, candidates in insertions:
+            imputed = _rebuild_imputed(record, self.schema, candidates)
+            self.store[handle] = RecordSynopsis.build(imputed, self.pivots,
+                                                      self.keywords)
+
+    def remove_keys(self, keys: Sequence[SynopsisKey]) -> None:
+        """Drop stale tuples from the grid (reconciliation fix-up)."""
+        for rid, source in keys:
+            self.grid.remove(rid, source)
+
+    def insert_handles(self, handles: Sequence[int]) -> None:
+        """Insert already-resident synopses into the grid (backfill)."""
+        for handle in handles:
+            self.grid.insert(self.store[handle])
+
+    def retire(self, handles: Sequence[int]) -> None:
+        for handle in handles:
+            self.store.pop(handle, None)
+
+    def execute(self, ops: Sequence[ShardOp]
+                ) -> Tuple[List[Tuple[int, List[ShardMatch]]], PruningStats,
+                           Tuple[int, int]]:
+        """Replay one micro-batch's ops; evaluate the queries of this shard.
+
+        Every op's evictions and insertion are applied (replica
+        maintenance); lookup runs only for ops whose ``region %
+        worker_count == worker_id``, recording the candidate lists.  The
+        pair evaluation — pure in the captured synopses — is then batched
+        over the whole op sequence (:func:`evaluate_task_batch`): one
+        vectorized bound pass per query, one Theorem 4.4 refinement sweep
+        over every surviving pair of the micro-batch.  Returns the matches
+        of the evaluated tasks, the pruning counters, and the
+        grid-examination counter deltas ``(cells_examined,
+        tuples_examined)``.
+        """
+        from repro.runtime.evaluation import evaluate_task_batch
+
+        grid = self.grid
+        cells_before = grid.cells_examined
+        tuples_before = grid.tuples_examined
+        stats = PruningStats()
+        pending: List[Tuple[int, RecordSynopsis, List[RecordSynopsis]]] = []
+        for task_index, evict_keys, insert_handle, region in ops:
+            for rid, source in evict_keys:
+                grid.remove(rid, source)
+            synopsis = self.store[insert_handle]
+            if region % self.worker_count == self.worker_id:
+                # Keywords are not pushed down to the grid (mirroring
+                # CandidateLookupStage.lookup): the topic predicate is
+                # applied — and counted — by the pruning cascade.
+                candidates = grid.candidate_synopses(
+                    synopsis, gamma=self.gamma, keywords=frozenset(),
+                    exclude_source=synopsis.record.source)
+                if candidates:
+                    pending.append((task_index, synopsis, candidates))
+            grid.insert(synopsis)
+        verdict_lists = evaluate_task_batch(
+            [(query, candidates) for _, query, candidates in pending],
+            stats=stats, vectorized=self.vectorized,
+            store=grid.packed_store, **self.eval_params)
+        results: List[Tuple[int, List[ShardMatch]]] = []
+        for (task_index, _, candidates), verdicts in zip(pending,
+                                                         verdict_lists):
+            matches = [
+                (candidate.record.rid, candidate.record.source, probability)
+                for candidate, (is_match, probability)
+                in zip(candidates, verdicts) if is_match
+            ]
+            if matches:
+                results.append((task_index, matches))
+        counters = (grid.cells_examined - cells_before,
+                    grid.tuples_examined - tuples_before)
+        return results, stats, counters
+
+
+def _shard_worker_main(worker_id: int, requests, responses,
+                       params_blob: bytes) -> None:
+    """Sharded worker loop: reconcile the replica, replay ops, respond."""
+    shard = ResidentShard(pickle.loads(params_blob), worker_id)
+    while True:
+        message = requests.get()
+        if message is None:
+            break
+        try:
+            insertions, stale_keys, backfill, ops, retired = \
+                pickle.loads(message)
+            shard.apply_insertions(insertions)
+            shard.remove_keys(stale_keys)
+            shard.insert_handles(backfill)
+            results, stats, counters = shard.execute(ops)
+            shard.retire(retired)
+            responses.put((worker_id, results, stats, counters, None))
+        except Exception:  # pragma: no cover - surfaced in the parent
+            responses.put((worker_id, None, None, None,
+                           traceback.format_exc()))
+
+
+class ShardedERPool(_ResidentWorkerPool):
+    """Worker processes owning resident ER-grid replicas: the whole ER
+    phase — candidate lookup, pruning cascade, refinement — runs
+    worker-side and only matches + counters return.
+
+    The main process keeps a thin routing grid (windows + key bookkeeping,
+    no packed/cell stores) and ships, per micro-batch, one broadcast
+    message: synopsis deltas for the batch's arrivals, reconciliation
+    fix-ups (see :meth:`begin_batch`), and the arrival-ordered
+    :data:`ShardOp` list.  Every worker replays all maintenance ops so the
+    replicas stay in lock-step; each query is evaluated by exactly one
+    worker (``region % workers``).
+
+    Residency is identity-tracked against the main grid every batch, which
+    makes the protocol self-healing: synopses rebuilt out-of-band (a
+    checkpoint restore, a watermark retraction) are re-shipped or retired
+    with the next batch, with no explicit reset signal.
+    """
+
+    _TARGET = staticmethod(_shard_worker_main)
+
+    #: ``grid.mutation_count`` recorded after the last batch; ``None``
+    #: before the first one.
+    _synced_mutations: Optional[int] = None
+
+    def begin_batch(self, grid) -> Tuple[List[Insertion], List[SynopsisKey],
+                                         List[int], List[int]]:
+        """Reconcile the replicas with the main grid's pre-batch state.
+
+        Returns ``(insertions, stale_keys, backfill, retired)``: deltas to
+        rebuild + grid-insert for keys the replicas are missing (identity
+        mismatch included), grid removals for keys they hold that the main
+        grid no longer does, and the superseded handles to retire.  In
+        steady state — every mutation flowing through :meth:`evaluate_batch`
+        ops — the grid's mutation count still matches the one recorded
+        after the last batch and the O(window) identity sweep is skipped
+        entirely; any out-of-band mutation (checkpoint restore, event-time
+        retraction) bumps the count and forces the full diff.
+        """
+        insertions: List[Insertion] = []
+        stale_keys: List[SynopsisKey] = []
+        backfill: List[int] = []
+        retired: List[int] = []
+        if grid.mutation_count == self._synced_mutations:
+            return insertions, stale_keys, backfill, retired
+        current = dict(grid.synopsis_items())
+        for key in list(self._resident):
+            handle, synopsis = self._resident[key]
+            if current.get(key) is not synopsis:
+                stale_keys.append(key)
+                retired.append(handle)
+                del self._resident[key]
+        for key, synopsis in current.items():
+            if key not in self._resident:
+                handle = self._next_handle
+                self._next_handle += 1
+                record = synopsis.record
+                insertions.append((handle, record.base, record.candidates))
+                backfill.append(handle)
+                self._resident[key] = (handle, synopsis)
+        return insertions, stale_keys, backfill, retired
+
+    def evaluate_batch(self, tasks: Sequence,
+                       task_regions: Sequence[int],
+                       task_evictions: Sequence[List[SynopsisKey]],
+                       reconciliation: Tuple[List[Insertion],
+                                             List[SynopsisKey],
+                                             List[int], List[int]],
+                       grid=None,
+                       transport=None,
+                       ) -> Tuple[Dict[int, List[ShardMatch]], PruningStats,
+                                  Tuple[int, int]]:
+        """Broadcast one micro-batch; gather matches + counters.
+
+        ``task_regions[i]`` / ``task_evictions[i]`` give task ``i``'s grid
+        region and the keys its arrival evicted (applied before its
+        lookup); ``reconciliation`` is :meth:`begin_batch`'s output for
+        this batch; ``grid`` is the main grid *after* the batch's
+        maintenance loop, whose mutation count marks the replicas as
+        synced.  Returns per-task match lists keyed by task index, the
+        merged pruning counters and the summed grid-examination deltas.
+        """
         if self._closed:
-            return
-        self._closed = True
-        for request_queue in self._requests:
-            try:
-                request_queue.put(None)
-            except (OSError, ValueError):  # pragma: no cover - teardown race
-                pass
-        for process in self._processes:
-            process.join(timeout=5)
-        for process in self._processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=5)
-        for request_queue in self._requests:
-            request_queue.close()
-            request_queue.cancel_join_thread()
-        self._responses.close()
-        self._responses.cancel_join_thread()
-        self._resident.clear()
+            raise RuntimeError("the sharded ER pool is closed")
+        try:
+            if grid is not None:
+                # The ops below mirror exactly the batch's grid mutations
+                # into the replicas, so after this batch the replicas match
+                # the grid as it stands right now.
+                self._synced_mutations = grid.mutation_count
+            insertions, stale_keys, backfill, retired = reconciliation
+            insertions = list(insertions)
+            retired = list(retired)
+            ops: List[ShardOp] = []
+            for index, task in enumerate(tasks):
+                for key in task_evictions[index]:
+                    entry = self._resident.pop(key, None)
+                    if entry is not None:
+                        retired.append(entry[0])
+                synopsis = task.synopsis
+                key = (synopsis.rid, synopsis.source)
+                previous = self._resident.get(key)
+                if previous is not None:
+                    # Same-key re-arrival without an eviction: the
+                    # replica's grid.insert overwrites the entry exactly
+                    # like the main grid's; the superseded handle only
+                    # needs retiring.
+                    retired.append(previous[0])
+                handle = self._next_handle
+                self._next_handle += 1
+                record = synopsis.record
+                insertions.append((handle, record.base, record.candidates))
+                self._resident[key] = (handle, synopsis)
+                ops.append((index, task_evictions[index], handle,
+                            task_regions[index]))
 
-    def __enter__(self) -> "PersistentRefinementPool":
-        return self
+            payload = pickle.dumps(
+                (insertions, stale_keys, backfill, ops, retired),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            for request_queue in self._requests:
+                request_queue.put(payload)
+        except Exception:
+            # The resident bookkeeping (and the synced mutation mark) may
+            # already claim deltas the workers never received — e.g. an
+            # unpicklable record aborting the dump.  A desynchronised pool
+            # would fail one batch *later* with a misleading handle error,
+            # so tear it down at the point of failure instead.
+            self.close()
+            raise
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+        merged = PruningStats()
+        matches: Dict[int, List[ShardMatch]] = {}
+        cells_delta = 0
+        tuples_delta = 0
+        errors: List[str] = []
+        for _ in range(self._workers):
+            _, results, stats, counters, error = self._next_response()
+            if error is not None:
+                errors.append(error)
+                continue
+            merged.merge(stats)
+            cells_delta += counters[0]
+            tuples_delta += counters[1]
+            for task_index, task_matches in results:
+                matches[task_index] = task_matches
+        if errors:
+            # All of this batch's responses were drained above; the failed
+            # worker's replica is in an unknown state, so the pool cannot
+            # be reused — close it and surface the failure.
+            self.close()
+            raise RuntimeError(f"sharded ER worker failed:\n{errors[0]}")
+        if transport is not None:
+            # The message is replicated to every worker; account the bytes
+            # that actually cross the process boundary.
+            transport.record_batch(
+                self._workers * len(payload),
+                synopses=self._workers * len(insertions),
+                orders=len(ops),
+                evictions=self._workers * (len(retired) + len(stale_keys)))
+        return matches, merged, (cells_delta, tuples_delta)
+
+
+def evaluate_shard_partition(blob: bytes, worker_id: int,
+                             params_blob: bytes
+                             ) -> Tuple[List[Tuple[int, List[ShardMatch]]],
+                                        PruningStats, Tuple[int, int]]:
+    """One stateless shard evaluation (the per-batch sharded-lookup mode).
+
+    ``blob`` is the pre-pickled ``(window_rows, deltas, ops)`` snapshot: the
+    pre-batch window contents (grid insertion order), the batch's arrival
+    deltas, and the arrival-ordered ops.  Rebuilds a transient
+    :class:`ResidentShard`, backfills the window, replays the ops and
+    returns this worker's matches + counters — the shipping-cost baseline
+    against the resident :class:`ShardedERPool`.
+    """
+    shard = ResidentShard(pickle.loads(params_blob), worker_id)
+    window_rows, deltas, ops = pickle.loads(blob)
+    shard.apply_insertions(window_rows)
+    shard.apply_insertions(deltas)
+    shard.insert_handles([handle for handle, _, _ in window_rows])
+    return shard.execute(ops)

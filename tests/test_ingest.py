@@ -245,7 +245,7 @@ def test_checkpoint_serialises_in_flight_elements(tmp_path):
     # 5 and 4 stay behind the watermark (reorder buffer).
     for event_time in (0, 1, 5, 4):
         driver._observe(_element(event_time, rid=f"in-flight-{event_time}"))
-    driver._pump(now=0.0)
+    asyncio.run(driver._pump(now=0.0))
     assert driver._batcher.pending == 2
     assert driver._clock.buffered == 2
 
@@ -740,10 +740,10 @@ def test_restore_preserves_late_admitted_processing_order():
                           policy=BatchPolicy(max_batch=10))
     driver._clock.open("idle")
     driver._observe(_element(5, origin="idle", rid="first"))
-    driver._pump(now=0.0)
+    asyncio.run(driver._pump(now=0.0))
     # Behind the watermark: admitted out of event-time order.
     driver._observe(_element(2, origin="idle", rid="late"))
-    driver._pump(now=0.0)
+    asyncio.run(driver._pump(now=0.0))
     assert driver.stats.admitted_late == 1
     assert [e.record.rid
             for e in driver._batcher.pending_elements()] == ["first", "late"]
@@ -797,7 +797,7 @@ def test_reorder_buffer_is_bounded_under_a_stalled_source():
     for index in range(20):
         driver._observe(_element(index, origin="a",
                                  rid=f"stalled-{index}"))
-        driver._pump(now=0.0)
+        asyncio.run(driver._pump(now=0.0))
         assert driver._clock.buffered <= 8
     assert driver.stats.force_released == 12
     # Oldest first, still in event-time order within the overflow.
@@ -848,3 +848,177 @@ def test_ingest_stats_roundtrip_and_p95():
     assert fresh.shed_late == 2
     assert fresh.triggers == {"size": 1, "drain": 1}
     assert fresh.p95_formation_latency() == 0.0  # latency series not persisted
+
+
+# ---------------------------------------------------------------------------
+# Idle-source watermark timeout (punctuation)
+# ---------------------------------------------------------------------------
+def test_clock_mark_idle_releases_watermark_and_wakes_on_arrival():
+    clock = WatermarkClock()
+    clock.open("live")
+    clock.open("stalled")
+    clock.observe(_element(5, origin="live"))
+    assert clock.watermark == float("-inf")  # stalled holds it back
+    assert clock.mark_idle("stalled")
+    assert not clock.mark_idle("stalled")  # already idle: one transition
+    assert clock.is_idle("stalled")
+    assert clock.watermark == 5.0
+    assert [e.event_time for e in clock.release_ready()] == [5.0]
+    # The source rejoins the watermark with its next arrival — which is
+    # classified against its own stream watermark, not the idle infinity.
+    assert clock.observe(_element(3, origin="stalled")) == OBSERVED_READY
+    assert not clock.is_idle("stalled")
+    assert clock.watermark == 3.0
+
+
+def test_clock_mark_idle_ignores_closed_sources():
+    clock = WatermarkClock()
+    clock.open("done")
+    clock.close("done")
+    assert not clock.mark_idle("done")
+    assert not clock.is_idle("done")
+
+
+def test_idle_timeout_unblocks_a_stalled_callback_source():
+    """A silent CallbackSource holds the global watermark at -inf; with
+    idle_timeout the driver marks it idle and the live stream's tuples
+    flow.  The source rejoins on close without disturbing the run."""
+    workload = build_workload(*GOLDEN_WORKLOADS[0][:3])
+    config = build_config(workload, 30)
+    records = workload.interleaved_records()[:12]
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+    stalled = CallbackSource(name="stalled")
+
+    def close_when_done(driver, _batch):
+        if driver.tuples_processed >= len(records):
+            stalled.close()
+
+    driver = IngestDriver(engine,
+                          [ReplaySource(records), stalled],
+                          policy=BatchPolicy(max_batch=4),
+                          idle_timeout=0.05,
+                          on_batch=close_when_done)
+
+    async def bounded_run():
+        return await asyncio.wait_for(driver.run_async(), timeout=60)
+
+    report = asyncio.run(bounded_run())
+    assert report.tuples_processed == len(records)
+    assert report.stats.idle_timeouts >= 1
+    assert engine.timestamps_processed == len(records)
+
+
+def test_idle_timeout_golden_identity_with_live_sources():
+    """A timeout that never fires (sources stay live) changes nothing."""
+    dataset, scale, seed, window = GOLDEN_WORKLOADS[0]
+    golden = json.loads(golden_path(dataset).read_text())["reference"]
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    got = _ingest_reference(workload, config,
+                            policy=BatchPolicy(max_batch=13),
+                            idle_timeout=30.0)
+    assert got == golden
+
+
+def test_idle_timeout_validation():
+    workload = build_workload(*GOLDEN_WORKLOADS[0][:3])
+    config = build_config(workload, 30)
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+    with pytest.raises(ValueError, match="idle_timeout"):
+        IngestDriver(engine, [ReplaySource([])], idle_timeout=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Off-loop batch processing (process_in_executor)
+# ---------------------------------------------------------------------------
+def test_executor_offload_matches_offline_golden():
+    """Running process_batch on the executor thread changes no answers and
+    counts one executor wait per processed batch."""
+    dataset, scale, seed, window = GOLDEN_WORKLOADS[0]
+    golden = json.loads(golden_path(dataset).read_text())["reference"]
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    engine = TERiDSEngine(repository=workload.repository, config=config,
+                          executor=SerialExecutor())
+    driver = IngestDriver(engine,
+                          [ReplaySource(workload.interleaved_records())],
+                          policy=BatchPolicy(max_batch=13),
+                          process_in_executor=True)
+    driver.run()
+    stats = engine.pruning.stats
+    got = {
+        "timestamps_processed": engine.timestamps_processed,
+        "matches": canonical_matches(driver.matches),
+        "result_set": canonical_matches(engine.current_matches()),
+        "pruning_stats": {
+            "pairs_considered": stats.pairs_considered,
+            "pruned_by_topic": stats.pruned_by_topic,
+            "pruned_by_similarity": stats.pruned_by_similarity,
+            "pruned_by_probability": stats.pruned_by_probability,
+            "pruned_by_instance": stats.pruned_by_instance,
+            "refined_matches": stats.refined_matches,
+            "refined_non_matches": stats.refined_non_matches,
+        },
+        "imputation_stats": engine.imputer.stats.as_dict(),
+    }
+    assert got == golden
+    assert driver.stats.executor_waits == driver.batches_processed > 0
+
+
+def test_executor_offload_keeps_sources_live_under_a_slow_engine():
+    """While a slow batch refines on the executor thread, paced sources
+    keep feeding the arrival queue instead of stalling behind it."""
+    workload = build_workload(*GOLDEN_WORKLOADS[0][:3])
+    config = build_config(workload, 30)
+    records = workload.interleaved_records()[:10]
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+
+    real_process_batch = engine.process_batch
+    import time as _time
+
+    def slow_process_batch(batch):
+        _time.sleep(0.05)
+        return real_process_batch(batch)
+
+    engine.process_batch = slow_process_batch
+    arrived_during_processing = []
+    driver = IngestDriver(engine,
+                          [ReplaySource(records, pace=0.005)],
+                          policy=BatchPolicy(max_batch=2),
+                          process_in_executor=True,
+                          on_batch=lambda d, _b: arrived_during_processing
+                          .append(d._queue_depth()))
+    report = asyncio.run(asyncio.wait_for(driver.run_async(), timeout=60))
+    assert report.tuples_processed == len(records)
+    assert report.stats.executor_waits == report.batches_processed
+    # At least one batch completed with fresh arrivals already queued — the
+    # readers were not frozen behind the engine.
+    assert max(arrived_during_processing, default=0) >= 1
+
+
+def test_slow_inline_batches_do_not_mark_live_sources_idle():
+    """Regression: a process_batch call that blocks the loop longer than
+    idle_timeout must not count as source silence — during the block no
+    source *could* have produced, and marking a live source idle would
+    release reorder-buffered elements ahead of its queued ones."""
+    workload = build_workload(*GOLDEN_WORKLOADS[0][:3])
+    config = build_config(workload, 30)
+    records = workload.interleaved_records()[:12]
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+
+    real_process_batch = engine.process_batch
+    import time as _time
+
+    def slow_process_batch(batch):
+        _time.sleep(0.12)
+        return real_process_batch(batch)
+
+    engine.process_batch = slow_process_batch
+    driver = IngestDriver(engine,
+                          [ReplaySource(records[:6], name="a"),
+                           ReplaySource(records[6:], name="b", pace=0.001)],
+                          policy=BatchPolicy(max_batch=3),
+                          idle_timeout=0.05)
+    report = asyncio.run(asyncio.wait_for(driver.run_async(), timeout=60))
+    assert report.tuples_processed == len(records)
+    assert report.stats.idle_timeouts == 0
