@@ -77,6 +77,12 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
     The context must have been built over the same repository,
     configuration and rule set as the checkpointed engine; windows, grid and
     result set are cleared and repopulated, counters are overwritten.
+
+    Shared-memory plane state is deliberately absent from checkpoints: the
+    plane's segments are process-local scratch (rebuilt from the grid at
+    any time), so restore only recreates the *logical* grid here — an
+    shm-backed executor detects the out-of-band mutation via the grid's
+    mutation counter and re-snapshots its workers on the next batch.
     """
     ctx.clear_online_state()
 

@@ -51,15 +51,29 @@ class TransportStats:
     synopses_shipped: int = 0
     orders_shipped: int = 0
     evictions_shipped: int = 0
+    #: Synopsis deltas routed to a strict subset of the workers by the
+    #: shm-plane targeted-routing protocol (vs. broadcast to every worker).
+    deltas_routed: int = 0
+    #: Lazy backfills: synopses shipped on demand because a cross-region
+    #: query referenced a record its shard never received a delta for.
+    backfills: int = 0
+    #: Current size of the shared-memory columnar plane the workers map
+    #: (a gauge, not a running total: rewritten each batch).
+    shm_bytes_mapped: int = 0
     per_batch_bytes: List[int] = field(default_factory=list)
 
     def record_batch(self, nbytes: int, synopses: int = 0, orders: int = 0,
-                     evictions: int = 0) -> None:
+                     evictions: int = 0, routed: int = 0, backfills: int = 0,
+                     shm_mapped: Optional[int] = None) -> None:
         self.batches += 1
         self.bytes_shipped += nbytes
         self.synopses_shipped += synopses
         self.orders_shipped += orders
         self.evictions_shipped += evictions
+        self.deltas_routed += routed
+        self.backfills += backfills
+        if shm_mapped is not None:
+            self.shm_bytes_mapped = shm_mapped
         self.per_batch_bytes.append(nbytes)
 
     def steady_state_bytes(self, skip: Optional[int] = None) -> float:
@@ -77,7 +91,8 @@ class TransportStats:
         return sum(window) / len(window)
 
     _SCALARS = ("batches", "bytes_shipped", "synopses_shipped",
-                "orders_shipped", "evictions_shipped")
+                "orders_shipped", "evictions_shipped", "deltas_routed",
+                "backfills", "shm_bytes_mapped")
 
     def as_dict(self) -> Dict:
         """Checkpointable summary (lifetime scalar counters).

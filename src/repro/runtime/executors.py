@@ -49,10 +49,12 @@ from repro.metrics.timing import (
 from repro.core.pruning import PruningStats
 from repro.runtime.evaluation import evaluate_partition_blob, evaluate_task_batch
 from repro.runtime.pipeline import Pipeline
+from repro.runtime.shm_plane import HAS_SHM, GridJournal, ShmPlane
 from repro.runtime.stages import TupleTask
 from repro.runtime.workers import (
     PersistentRefinementPool,
     ShardedERPool,
+    ShmShardedERPool,
     SynopsisKey,
     evaluate_shard_partition,
 )
@@ -188,13 +190,34 @@ class MicroBatchExecutor(Executor):
         ``"per-batch"`` re-ships the window snapshot every batch (the
         stateless shipping-cost baseline).  Match sets and every counter
         are identical to the in-process paths at any shard count.
+    shm_plane:
+        Back the sharded ER phase with a shared-memory columnar plane
+        (:class:`~repro.runtime.shm_plane.ShmPlane`): the main grid's
+        packed-synopsis and cell-aggregate stores live in
+        ``multiprocessing.shared_memory`` segments that the shard workers
+        *map* read-only instead of receiving per-batch broadcast deltas.
+        The main process is the single writer (per-batch epoch: write all
+        deltas, bump the epoch, then ship the op journal); per-record
+        Python state is *routed* only to the shards whose regions the
+        record's cells touch, with lazy backfill for cross-region
+        queries.  Requires ``shard_lookup``, ``vectorized``,
+        ``pool_mode="persistent"`` and a platform with
+        ``multiprocessing.shared_memory``.  Match sets and counters stay
+        bit-identical to every other path.
+    delta_routing:
+        Only meaningful with ``shm_plane``: route each arrival's record
+        delta to the touched regions only (default).  ``False`` broadcasts
+        the delta to every worker — the shipping-cost baseline the
+        benchmarks compare against.
     """
 
     def __init__(self, batch_size: int = 32,
                  max_workers: Optional[int] = None,
                  vectorized: Optional[bool] = None,
                  pool_mode: str = POOL_PERSISTENT,
-                 shard_lookup: bool = False) -> None:
+                 shard_lookup: bool = False,
+                 shm_plane: bool = False,
+                 delta_routing: bool = True) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if max_workers is not None and max_workers < 1:
@@ -213,9 +236,30 @@ class MicroBatchExecutor(Executor):
         self.vectorized = HAS_NUMPY if vectorized is None else vectorized
         self.pool_mode = pool_mode
         self.shard_lookup = shard_lookup
+        self.shm_plane = shm_plane
+        self.delta_routing = delta_routing
+        if shm_plane:
+            if not HAS_SHM:
+                raise ValueError("shm_plane requires numpy and "
+                                 "multiprocessing.shared_memory")
+            if not shard_lookup:
+                raise ValueError("shm_plane requires shard_lookup (it backs "
+                                 "the sharded ER phase)")
+            if not self.vectorized:
+                raise ValueError("shm_plane requires vectorized execution "
+                                 "(the plane holds the columnar stores)")
+            if pool_mode != POOL_PERSISTENT:
+                raise ValueError("shm_plane requires pool_mode="
+                                 f"{POOL_PERSISTENT!r} (the workers keep "
+                                 "mapped state across batches)")
         self._pool = None
         self._persistent_pool: Optional[PersistentRefinementPool] = None
         self._sharded_pool: Optional[ShardedERPool] = None
+        self._shm_pool: Optional[ShmShardedERPool] = None
+        self._plane: Optional[ShmPlane] = None
+        #: Test hook: run the shm replicas in-process (full protocol, every
+        #: pickle round-trip, no process spawns).
+        self._shm_inline = False
         self._persistent_ctx = None
         self._shard_params_cache: Optional[Tuple[object, bytes]] = None
         self._auto_choice: Optional[str] = None
@@ -285,6 +329,51 @@ class MicroBatchExecutor(Executor):
             self._persistent_ctx = ctx
         return self._sharded_pool
 
+    def _ensure_shm_pool(self, ctx) -> ShmShardedERPool:
+        if self._shm_pool is not None and self._persistent_ctx is not ctx:
+            # Different operator: its grid maps the old plane's segments.
+            self._teardown_shm()
+        if self._plane is None:
+            self._plane = ShmPlane()
+        # No-ops in steady state; rebuild + backfill when the grid changed
+        # hands or a prior in-process run left non-arena stores behind.
+        ctx.grid.enable_packed_store(arena=self._plane.packed)
+        ctx.grid.enable_cell_store(arena=self._plane.cells)
+        if self._shm_pool is None:
+            pruning = ctx.pruning
+            self._shm_pool = ShmShardedERPool(
+                workers=self.max_workers,
+                params={
+                    "schema": ctx.schema,
+                    "keywords": pruning.keywords,
+                    "gamma": pruning.gamma,
+                    "alpha": pruning.alpha,
+                    "use_topic": pruning.use_topic,
+                    "use_similarity": pruning.use_similarity,
+                    "use_probability": pruning.use_probability,
+                    "use_instance": pruning.use_instance,
+                    "worker_count": self.max_workers,
+                },
+                plane=self._plane, inline=self._shm_inline)
+            self._persistent_ctx = ctx
+        return self._shm_pool
+
+    def _teardown_shm(self) -> None:
+        """Close the shm pool and unlink the plane, in dependency order:
+        localise the grid's stores out of the arenas first (so the operator
+        keeps working serially), then stop the workers, then unlink."""
+        ctx = self._persistent_ctx
+        if ctx is not None and self._plane is not None:
+            for store in (ctx.grid.packed_store, ctx.grid.cell_store):
+                if store is not None and store.arena is not None:
+                    store.localize()
+        if self._shm_pool is not None:
+            self._shm_pool.close()
+            self._shm_pool = None
+        if self._plane is not None:
+            self._plane.close(unlink=True)
+            self._plane = None
+
     def _resolve_pool_mode(self, ctx, batch_len: int) -> str:
         """The pool mode for the batch at hand (resolves ``auto``).
 
@@ -317,6 +406,7 @@ class MicroBatchExecutor(Executor):
         if self._sharded_pool is not None:
             self._sharded_pool.close()
             self._sharded_pool = None
+        self._teardown_shm()
         self._persistent_ctx = None
 
     # -- scheduling ----------------------------------------------------------
@@ -348,7 +438,10 @@ class MicroBatchExecutor(Executor):
 
         if sharded:
             with ctx.timer.measure(STAGE_ER):
-                self._process_batch_sharded(pipeline, tasks)
+                if self.shm_plane:
+                    self._process_batch_shm(pipeline, tasks)
+                else:
+                    self._process_batch_sharded(pipeline, tasks)
             return [task.matches for task in tasks]
 
         with ctx.timer.measure(STAGE_ER):
@@ -460,6 +553,15 @@ class MicroBatchExecutor(Executor):
         else:
             matches_by_task, stats, counters = self._evaluate_sharded_per_batch(
                 ctx, tasks, task_regions, task_evictions, window_items)
+        self._merge_shard_results(ctx, tasks, events, matches_by_task, stats,
+                                  counters)
+
+    @staticmethod
+    def _merge_shard_results(ctx, tasks: Sequence[TupleTask], events,
+                             matches_by_task, stats, counters) -> None:
+        """Fold worker results back into the context: stats + grid
+        counters, match triples rebuilt into :class:`MatchPair` objects,
+        then the result-set mutations replayed in arrival order."""
         ctx.pruning.stats.merge(stats)
         ctx.grid.cells_examined += counters[0]
         ctx.grid.tuples_examined += counters[1]
@@ -479,6 +581,74 @@ class MicroBatchExecutor(Executor):
             else:
                 for pair in payload.matches:
                     result_set.add(pair)
+
+    # -- shm-plane sharded ER phase (workers map the columnar plane) -----------
+    def _process_batch_shm(self, pipeline: Pipeline,
+                           tasks: Sequence[TupleTask]) -> None:
+        """Phases 2–4 against the shared-memory columnar plane.
+
+        The main process is the plane's single writer: the maintenance
+        loop below performs every arena write of the batch (evictions and
+        insertions mutate the arena-backed packed/cell stores in place)
+        while journalling the cell-membership mutations and each row's
+        pre-image.  Only after the loop — all writes done — does
+        ``evaluate_batch`` bump the epoch and ship the op journal; the
+        workers then replay it against the mapped arrays, reconstructing
+        every intermediate aggregate from the journal's at-write values.
+        """
+        ctx = pipeline.ctx
+        grid = ctx.grid
+        pool = self._ensure_shm_pool(ctx)
+        reset = pool.begin_batch(grid)
+        workers = self.max_workers
+        journal = GridJournal()
+        grid.journal = journal
+        events: List[Tuple[int, object]] = []
+        ops = []
+        routed: dict = {}
+        try:
+            for index, task in enumerate(tasks):
+                ctx.timestamps_processed += 1
+                evicted = pipeline.maintenance.expire(task.record.source,
+                                                      defer_result_set=True)
+                pre_evicted = []
+                if evicted is not None:
+                    key = (evicted.record.rid, evicted.record.source)
+                    events.append((_EVICT, key))
+                    retired = pool.retire_key(key)
+                    if retired is not None:
+                        pre_evicted.append(retired)
+                pre_entries = journal.take()
+                region = grid.region_of(task.synopsis, workers)
+                pipeline.maintenance.insert(task.synopsis)
+                post_entries = journal.take()
+                key = (task.record.rid, task.record.source)
+                handle, replaced = pool.register(key, task.synopsis)
+                row = grid.packed_store.row_for(task.synopsis)
+                ops.append((index, region, key, handle, row, pre_evicted,
+                            pre_entries, post_entries,
+                            [replaced] if replaced is not None else []))
+                if self.delta_routing:
+                    # Ship the record only to the shards whose regions its
+                    # cells touch; the home cell is always among them, so
+                    # the query's own shard is always a target.
+                    targets = {region}
+                    for coords in grid.record_cells(*key):
+                        targets.add(grid.region_of_cell(coords, workers))
+                else:
+                    targets = range(workers)
+                record = task.synopsis.record
+                delta = (handle, record.base, record.candidates)
+                for worker in targets:
+                    routed.setdefault(worker, []).append(delta)
+                events.append((_EMIT, task))
+            pre_rows = journal.drain_pre()
+        finally:
+            grid.journal = None
+        matches_by_task, stats, counters = pool.evaluate_batch(
+            grid, reset, ops, routed, pre_rows, transport=ctx.transport)
+        self._merge_shard_results(ctx, tasks, events, matches_by_task, stats,
+                                  counters)
 
     def _evaluate_sharded_per_batch(self, ctx, tasks: Sequence[TupleTask],
                                     task_regions: Sequence[int],

@@ -56,8 +56,15 @@ from repro.core.pruning import (
     PackedStore,
     PruningStats,
     RecordSynopsis,
+    batch_cell_scan,
+    batch_prune_stacked,
 )
 from repro.core.tuples import ImputedRecord, Record
+
+if HAS_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
 
 #: A window/grid identity: ``(rid, source)``.
 SynopsisKey = Tuple[str, str]
@@ -714,3 +721,560 @@ def evaluate_shard_partition(blob: bytes, worker_id: int,
     shard.apply_insertions(deltas)
     shard.insert_handles([handle for handle, _, _ in window_rows])
     return shard.execute(ops)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory sharded ER pool: workers map the columnar plane
+# ---------------------------------------------------------------------------
+#: One shm-plane op, in arrival order: ``(task_index, region, key, handle,
+#: packed_row, pre_evicted, pre_entries, post_entries, replaced_handles)``.
+#: ``pre_evicted`` lists ``(key, handle)`` window evictions applied before
+#: the arrival; ``pre_entries`` / ``post_entries`` are the grid journal's
+#: cell-membership mutations of the eviction / the insertion; ``replaced``
+#: lists handles superseded by a same-key re-arrival.
+ShmShardOp = Tuple
+
+
+class _RecordShell:
+    """Worker-side residency of one record: the rebuilt imputed record plus
+    the slots the refinement-profile caches land in.
+
+    The shm plane carries every *columnar* aggregate of a synopsis, so the
+    workers never rebuild :class:`RecordSynopsis` objects — the Theorem 4.4
+    refinement tail only needs ``.record`` and somewhere to cache the
+    instance profiles (see :mod:`repro.runtime.evaluation`).
+    """
+
+    __slots__ = ("record", "_runtime_instance_profiles",
+                 "_runtime_sorted_profiles")
+
+    def __init__(self, record: ImputedRecord) -> None:
+        self.record = record
+
+
+def _interval_arrays(intervals):
+    """``(lb, ub)`` float64 rows of one journal entry's at-write aggregates."""
+    lb = _np.fromiter((pair[0] for pair in intervals), dtype=float,
+                      count=len(intervals))
+    ub = _np.fromiter((pair[1] for pair in intervals), dtype=float,
+                      count=len(intervals))
+    return lb, ub
+
+
+class _ShmShardReplica:
+    """One worker's partial replica over the mapped columnar plane.
+
+    Unlike :class:`ResidentShard` this holds **no grid**: the columnar
+    state (packed synopsis rows, cell aggregate rows) is read straight out
+    of the main process' shared-memory arenas, and the only replicated
+    Python state is
+
+    * the cell *membership* mirror (insertion-ordered, replayed from the
+      grid journal) that drives candidate collection order,
+    * the ``key -> handle -> packed row`` bindings, and
+    * the :class:`_RecordShell` residency — records routed to this shard
+      (or lazily backfilled) for the instance-level refinement tail.
+
+    Intra-batch cell aggregates are reconstructed exactly: the mapped
+    arrays hold end-of-batch values, so an *overlay* (row pre-images +
+    at-write journal values) serves the value each cell held at the op
+    being replayed.
+    """
+
+    def __init__(self, params: Dict, worker_id: int) -> None:
+        from repro.runtime.shm_plane import PackedPlaneView, ShmArenaView
+
+        params = dict(params)
+        self.schema = params.pop("schema")
+        self.worker_count = params.pop("worker_count")
+        self.worker_id = worker_id
+        self.keywords = params["keywords"]
+        self.gamma = params["gamma"]
+        self.alpha = params["alpha"]
+        self.use_topic = params["use_topic"]
+        self.use_similarity = params["use_similarity"]
+        self.use_probability = params["use_probability"]
+        self.use_instance = params["use_instance"]
+        self.packed_view = ShmArenaView()
+        self.cells_view = ShmArenaView()
+        self.packed_plane = PackedPlaneView(self.packed_view)
+        #: ``coords -> [cell_store_row, {key: None}]`` — insertion-ordered
+        #: mirror of the main grid's live cells and their member keys.
+        self.cells: Dict[Tuple[int, ...], list] = {}
+        self.handles: Dict[SynopsisKey, int] = {}
+        self.rows: Dict[int, int] = {}
+        self.resident: Dict[int, _RecordShell] = {}
+        self.epoch = 0
+        self._pending = None
+
+    # -- batch protocol ------------------------------------------------------
+    def apply_batch(self, message) -> List[int]:
+        """Replay one batch's ops; returns handles needing lazy backfill."""
+        (_, epoch, packed_desc, cells_desc, reset, pre_rows, routed,
+         ops) = message
+        if reset is not None:
+            self._apply_reset(reset)
+        elif epoch != self.epoch + 1:
+            raise RuntimeError(
+                f"shm shard worker {self.worker_id} desynchronised: "
+                f"expected epoch {self.epoch + 1}, received {epoch}")
+        self.epoch = epoch
+        self.packed_view.attach(packed_desc)
+        self.cells_view.attach(cells_desc)
+        if packed_desc is not None:
+            self.packed_view.check_epoch(epoch)
+        if cells_desc is not None:
+            self.cells_view.check_epoch(epoch)
+        for handle, record, candidates in routed:
+            self.resident[handle] = _RecordShell(
+                _rebuild_imputed(record, self.schema, candidates))
+
+        overlay = {
+            row: (_np.array(lb_vals, dtype=float),
+                  _np.array(ub_vals, dtype=float))
+            for row, (lb_vals, ub_vals) in pre_rows.items()
+        }
+        stats = PruningStats()
+        pending: List[Tuple[int, SynopsisKey, int, List[Tuple]]] = []
+        retired: List[int] = []
+        cells_examined = 0
+        tuples_examined = 0
+        for op in ops:
+            (index, region, key, handle, row, pre_evicted, pre_entries,
+             post_entries, replaced) = op
+            for evicted_key, evicted_handle in pre_evicted:
+                if self.handles.get(evicted_key) == evicted_handle:
+                    del self.handles[evicted_key]
+                retired.append(evicted_handle)
+            self._apply_entries(pre_entries, overlay)
+            if region % self.worker_count == self.worker_id and self.cells:
+                cells_examined += len(self.cells)
+                counted, survivors = self._lookup(key, row, overlay, stats)
+                tuples_examined += counted
+                if survivors is not None:
+                    pending.append((index, key, handle, survivors))
+            self._apply_entries(post_entries, overlay)
+            self.handles[key] = handle
+            self.rows[handle] = row
+            retired.extend(replaced)
+        self._pending = (pending, retired, stats,
+                         (cells_examined, tuples_examined))
+        needed = {query_handle for _, _, query_handle, _ in pending}
+        for _, _, _, survivors in pending:
+            needed.update(chandle for _, _, chandle in survivors)
+        return sorted(handle for handle in needed
+                      if handle not in self.resident)
+
+    def apply_backfill(self, records: Sequence[Insertion]) -> None:
+        for handle, record, candidates in records:
+            self.resident[handle] = _RecordShell(
+                _rebuild_imputed(record, self.schema, candidates))
+
+    def finish_batch(self) -> Tuple[List[Tuple[int, List[ShardMatch]]],
+                                    PruningStats, Tuple[int, int]]:
+        """Refine this shard's surviving pairs; retire superseded handles."""
+        from repro.runtime.evaluation import refine_pair_cached
+
+        pending, retired, stats, counters = self._pending
+        self._pending = None
+        results: List[Tuple[int, List[ShardMatch]]] = []
+        for index, _key, query_handle, survivors in pending:
+            query_shell = self.resident[query_handle]
+            matches: List[ShardMatch] = []
+            for _position, candidate_key, candidate_handle in survivors:
+                is_match, probability = refine_pair_cached(
+                    query_shell, self.resident[candidate_handle],
+                    self.keywords, self.gamma, self.alpha,
+                    self.use_instance, stats)
+                if is_match:
+                    matches.append((candidate_key[0], candidate_key[1],
+                                    probability))
+            if matches:
+                results.append((index, matches))
+        # Handles retired mid-batch stay resident until here: an op may
+        # reference as candidate a record evicted by a *later* op.
+        for handle in retired:
+            self.resident.pop(handle, None)
+            self.rows.pop(handle, None)
+        return results, stats, counters
+
+    def close(self) -> None:
+        self.packed_view.close()
+        self.cells_view.close()
+
+    # -- replay internals ----------------------------------------------------
+    def _apply_reset(self, reset) -> None:
+        """Rebuild the membership mirror + bindings from a full snapshot.
+
+        Sent when the main grid mutated out-of-band (first batch,
+        checkpoint restore, watermark retraction).  Handles are freshly
+        assigned by the sender, so the shell residency is dropped — shells
+        re-arrive through routing or lazy backfill.
+        """
+        cell_table, bindings = reset
+        self.cells = {coords: [row, dict.fromkeys(keys)]
+                      for coords, row, keys in cell_table}
+        self.handles = {key: handle
+                        for key, (handle, _) in bindings.items()}
+        self.rows = {handle: row for handle, row in bindings.values()}
+        self.resident = {}
+
+    def _apply_entries(self, entries, overlay) -> None:
+        """Replay journal entries into the membership mirror + overlay."""
+        for entry in entries:
+            kind = entry[0]
+            if kind == "a":
+                _, coords, row, key, intervals = entry
+                cell = self.cells.get(coords)
+                if cell is None:
+                    self.cells[coords] = cell = [row, {}]
+                else:
+                    cell[0] = row
+                cell[1][key] = None
+                overlay[row] = _interval_arrays(intervals)
+            elif kind == "r":
+                _, coords, row, key, intervals = entry
+                cell = self.cells.get(coords)
+                if cell is not None:
+                    cell[0] = row
+                    cell[1].pop(key, None)
+                overlay[row] = _interval_arrays(intervals)
+            else:  # "d": last member removed, cell deleted
+                self.cells.pop(entry[1], None)
+
+    def _lookup(self, key: SynopsisKey, row: int, overlay, stats):
+        """Cell scan + pruning cascade of one query against the plane.
+
+        Mirrors ``ERGrid.candidate_synopses`` (store path) +
+        ``_vectorized_prune_pass`` exactly: same kernel calls over the same
+        float64 values, same iteration order, same counters.  Returns the
+        ``tuples_examined`` delta and the surviving ``(position, key,
+        handle)`` list (``None`` when the candidate list is empty, matching
+        the main-side ``if candidates:`` gate).
+        """
+        packed = self.packed_view.arrays
+        query_lb = packed["dist_lb"][row, :, 0]
+        query_ub = packed["dist_ub"][row, :, 0]
+        margin = len(self.schema) - self.gamma
+        cell_arrays = self.cells_view.arrays
+        totals = batch_cell_scan(query_lb, query_ub,
+                                 cell_arrays["lb"], cell_arrays["ub"])
+        # Workers evaluate with an empty keyword set (mirroring
+        # CandidateLookupStage.lookup), so the scan's require_keyword arm
+        # never fires and only the distance test decides.
+        candidate_keys: List[SynopsisKey] = []
+        seen = set()
+        counted = 0
+        query_source = key[1]
+        for _coords, (cell_row, members) in self.cells.items():
+            if cell_row in overlay:
+                lb_row, ub_row = overlay[cell_row]
+                total = batch_cell_scan(query_lb, query_ub,
+                                        lb_row[_np.newaxis, :],
+                                        ub_row[_np.newaxis, :])[0]
+            else:
+                total = totals[cell_row]
+            if not total < margin:
+                continue
+            for candidate_key in members:
+                if candidate_key in seen:
+                    continue
+                seen.add(candidate_key)
+                counted += 1
+                # Same-source candidates (the query's own key included) are
+                # excluded after counting, like ``_collect_cell``.
+                if candidate_key[1] == query_source:
+                    continue
+                candidate_keys.append(candidate_key)
+        if not candidate_keys:
+            return counted, None
+        candidate_handles = [self.handles[candidate_key]
+                             for candidate_key in candidate_keys]
+        index = _np.fromiter((self.rows[handle]
+                              for handle in candidate_handles),
+                             dtype=_np.intp, count=len(candidate_handles))
+        alive, pruned_topic, pruned_similarity, pruned_probability = \
+            batch_prune_stacked(
+                self.packed_plane.packed_row(row),
+                self.packed_plane.gather(index), len(candidate_keys),
+                self.keywords, self.gamma, self.alpha,
+                use_topic=self.use_topic,
+                use_similarity=self.use_similarity,
+                use_probability=self.use_probability)
+        stats.pairs_considered += len(candidate_keys)
+        stats.pruned_by_topic += pruned_topic
+        stats.pruned_by_similarity += pruned_similarity
+        stats.pruned_by_probability += pruned_probability
+        survivors = [
+            (position, candidate_keys[position], candidate_handles[position])
+            for position in (int(lane) for lane in alive.nonzero()[0])
+        ]
+        return counted, survivors
+
+
+def _shm_worker_main(worker_id: int, requests, responses,
+                     params_blob: bytes) -> None:
+    """Shm worker loop: attach the plane, replay ops, refine, respond."""
+    replica = _ShmShardReplica(pickle.loads(params_blob), worker_id)
+    try:
+        while True:
+            message = requests.get()
+            if message is None:
+                break
+            try:
+                missing = replica.apply_batch(pickle.loads(message))
+                if missing:
+                    responses.put((worker_id, "need", missing))
+                    reply = requests.get()
+                    if reply is None:  # pragma: no cover - teardown race
+                        break
+                    replica.apply_backfill(pickle.loads(reply)[1])
+                results, stats, counters = replica.finish_batch()
+                responses.put((worker_id, "done", results, stats, counters))
+            except Exception:  # pragma: no cover - surfaced in the parent
+                responses.put((worker_id, "error", traceback.format_exc()))
+    finally:
+        replica.close()
+
+
+class ShmShardedERPool(_ResidentWorkerPool):
+    """Sharded ER pool whose workers map the shared-memory columnar plane.
+
+    The zero-copy successor of :class:`ShardedERPool`: instead of full grid
+    replicas fed by per-batch broadcast, workers attach the main process'
+    :class:`~repro.runtime.shm_plane.ShmPlane` read-only and replay only
+    the per-batch op journal.  Per-record Python state (the imputed records
+    the refinement tail enumerates) is *routed* — shipped only to the
+    shards whose regions the record's cells touch — with lazy backfill for
+    cross-region queries, so replicas are partial-but-aggregate-exact.
+
+    Single-writer epoch protocol: the caller finishes every grid mutation
+    of the batch (the arenas are written in place), bumps the plane's
+    epoch, and only then ships the orders; workers validate generation and
+    epoch headers before reading.  Strict request/response alternation
+    means workers never read while the writer writes.
+
+    ``inline=True`` runs the replicas in-process (keeping every pickle
+    round-trip) so single-CPU environments and property tests can exercise
+    the full protocol without process-spawn latency.
+    """
+
+    _TARGET = staticmethod(_shm_worker_main)
+
+    def __init__(self, workers: int, params: Dict, plane,
+                 inline: bool = False) -> None:
+        self._plane = plane
+        self._inline = inline
+        if inline:
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1, got {workers}")
+            self._workers = workers
+            self._replicas = [
+                _ShmShardReplica(pickle.loads(pickle.dumps(
+                    params, protocol=pickle.HIGHEST_PROTOCOL)), index)
+                for index in range(workers)
+            ]
+            self._resident: Dict[SynopsisKey, Tuple[int, RecordSynopsis]] = {}
+            self._next_handle = 0
+            self._closed = False
+        else:
+            super().__init__(workers, params)
+        #: Parent object of every live handle — kept (even past key
+        #: retirement) until batch end so lazy backfill can serve any
+        #: handle an in-flight order references.
+        self._by_handle: Dict[int, RecordSynopsis] = {}
+        self._retired: List[int] = []
+        #: ``(worker_id, handle)`` per served backfill; the exactly-once
+        #: guarantee (shells persist until retirement) makes duplicates a
+        #: protocol bug, which the tests assert against this log.
+        self.backfill_log: List[Tuple[int, int]] = []
+        self._epoch = 0
+        self._synced_mutations: Optional[int] = None
+
+    # -- batch protocol ------------------------------------------------------
+    def begin_batch(self, grid):
+        """Flush last epoch's freed rows; snapshot on out-of-band mutation.
+
+        Returns the reset payload (cell table + key bindings) when the
+        grid mutated outside the op stream since the last batch — the
+        first batch, a checkpoint restore, a watermark retraction — and
+        ``None`` in steady state, where the op journal alone keeps the
+        worker mirrors in lock-step.
+        """
+        store = grid.packed_store
+        store.begin_epoch()
+        if grid.mutation_count == self._synced_mutations:
+            return None
+        self._by_handle.clear()
+        del self._retired[:]
+        self._resident.clear()
+        bindings = {}
+        for key, synopsis in grid.synopsis_items():
+            handle = self._next_handle
+            self._next_handle += 1
+            self._resident[key] = (handle, synopsis)
+            self._by_handle[handle] = synopsis
+            bindings[key] = (handle, store.row_for(synopsis))
+        return grid.cell_table(), bindings
+
+    def retire_key(self, key: SynopsisKey):
+        """Unbind one evicted key; returns ``(key, handle)`` for the op."""
+        entry = self._resident.pop(key, None)
+        if entry is None:
+            return None
+        self._retired.append(entry[0])
+        return key, entry[0]
+
+    def register(self, key: SynopsisKey,
+                 synopsis: RecordSynopsis) -> Tuple[int, Optional[int]]:
+        """Bind one arrival under a fresh handle; returns the superseded
+        same-key handle (``None`` normally) for the op's retire list."""
+        replaced = None
+        previous = self._resident.get(key)
+        if previous is not None:
+            replaced = previous[0]
+            self._retired.append(replaced)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._resident[key] = (handle, synopsis)
+        self._by_handle[handle] = synopsis
+        return handle, replaced
+
+    def _serve_backfill(self, worker_id: int,
+                        handles: Sequence[int]) -> Tuple[bytes, int]:
+        records: List[Insertion] = []
+        for handle in handles:
+            synopsis = self._by_handle[handle]
+            self.backfill_log.append((worker_id, handle))
+            record = synopsis.record
+            records.append((handle, record.base, record.candidates))
+        payload = pickle.dumps(("backfill", records),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        return payload, len(records)
+
+    def evaluate_batch(self, grid, reset, ops: Sequence[ShmShardOp],
+                       routed: Dict[int, List[Insertion]], pre_rows,
+                       transport=None):
+        """Publish the epoch, ship the op journal, gather matches.
+
+        ``reset`` is :meth:`begin_batch`'s output; ``ops`` the
+        arrival-ordered op list; ``routed`` the per-worker record deltas;
+        ``pre_rows`` the cell-row pre-images of the batch.  ``grid`` is the
+        main grid *after* its maintenance loop — every one of its
+        mutations is mirrored by the ops, which marks the replicas synced.
+        """
+        if self._closed:
+            raise RuntimeError("the shm sharded ER pool is closed")
+        self._synced_mutations = grid.mutation_count
+        self._epoch += 1
+        # The single-writer contract: every arena write of this batch
+        # happened in the caller's maintenance loop; publishing the epoch
+        # is the last write before any order ships.
+        self._plane.set_epoch(self._epoch)
+        packed_desc = self._plane.packed.descriptor()
+        cells_desc = self._plane.cells.descriptor()
+        payloads = []
+        total_bytes = 0
+        routed_count = 0
+        for worker in range(self._workers):
+            deltas = routed.get(worker, [])
+            routed_count += len(deltas)
+            payload = pickle.dumps(
+                ("batch", self._epoch, packed_desc, cells_desc, reset,
+                 pre_rows, deltas, ops),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            total_bytes += len(payload)
+            payloads.append(payload)
+
+        merged = PruningStats()
+        matches: Dict[int, List[ShardMatch]] = {}
+        cells_delta = 0
+        tuples_delta = 0
+        backfill_bytes = 0
+        backfill_count = 0
+        if self._inline:
+            try:
+                for worker, payload in enumerate(payloads):
+                    replica = self._replicas[worker]
+                    missing = replica.apply_batch(pickle.loads(payload))
+                    if missing:
+                        reply, count = self._serve_backfill(worker, missing)
+                        backfill_bytes += len(reply)
+                        backfill_count += count
+                        replica.apply_backfill(pickle.loads(reply)[1])
+                    results, stats, counters = replica.finish_batch()
+                    merged.merge(stats)
+                    cells_delta += counters[0]
+                    tuples_delta += counters[1]
+                    for task_index, task_matches in results:
+                        matches[task_index] = task_matches
+            except Exception:
+                self.close()
+                raise
+        else:
+            try:
+                for worker, payload in enumerate(payloads):
+                    self._requests[worker].put(payload)
+            except Exception:
+                # The epoch was published and the bookkeeping advanced for
+                # a batch the workers never (fully) received; the pool
+                # cannot recover the lock-step, so fail it at the point of
+                # error.
+                self.close()
+                raise
+            errors: List[str] = []
+            done = 0
+            while done < self._workers:
+                response = self._next_response()
+                worker_id, tag = response[0], response[1]
+                if tag == "need":
+                    reply, count = self._serve_backfill(worker_id,
+                                                        response[2])
+                    backfill_bytes += len(reply)
+                    backfill_count += count
+                    self._requests[worker_id].put(reply)
+                    continue
+                done += 1
+                if tag == "error":
+                    errors.append(response[2])
+                    continue
+                _, _, results, stats, counters = response
+                merged.merge(stats)
+                cells_delta += counters[0]
+                tuples_delta += counters[1]
+                for task_index, task_matches in results:
+                    matches[task_index] = task_matches
+            if errors:
+                self.close()
+                raise RuntimeError(
+                    f"shm sharded ER worker failed:\n{errors[0]}")
+
+        if transport is not None:
+            transport.record_batch(
+                total_bytes + backfill_bytes,
+                synopses=routed_count + backfill_count,
+                orders=len(ops),
+                evictions=len(self._retired),
+                routed=routed_count,
+                backfills=backfill_count,
+                shm_mapped=self._plane.nbytes)
+        for handle in self._retired:
+            self._by_handle.pop(handle, None)
+        del self._retired[:]
+        return matches, merged, (cells_delta, tuples_delta)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._inline:
+            self._closed = True
+            for replica in self._replicas:
+                replica.close()
+            self._resident.clear()
+        else:
+            # The workers detach their views in their ``finally`` blocks as
+            # the sentinel arrives; the plane itself (and its segments) is
+            # owned and unlinked by the executor.
+            super().close()
+        self._by_handle.clear()

@@ -1,0 +1,414 @@
+"""Tests for the zero-copy shared-memory columnar plane (shm-plane ER).
+
+The heavyweight guarantees:
+
+* **Bit-identity** — the shm-backed sharded ER phase (workers mapping the
+  plane + journal replay + targeted delta routing) reproduces the serial
+  executor's matches, result set and every pruning / grid counter exactly,
+  at any shard count, routing on or off, inline or across real processes;
+* **Exactly-once backfill** — a cross-region query triggers a lazy record
+  backfill at most once per ``(worker, handle)``;
+* **Protocol safety** — generation / epoch header mismatches are detected,
+  never silently read through;
+* **No segment leaks** — pool close, worker crash and engine teardown all
+  unlink every ``/dev/shm`` segment (the autouse conftest fixture rechecks
+  after every test in the suite).
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from golden_utils import (
+    GOLDEN_WORKLOADS,
+    build_config,
+    build_workload,
+    golden_path,
+    run_reference,
+)
+from repro.core.engine import TERiDSEngine
+from repro.runtime import MicroBatchExecutor, SerialExecutor
+from repro.runtime import shm_plane
+from repro.runtime.shm_plane import (
+    HAS_SHM,
+    GridJournal,
+    ShmArena,
+    ShmArenaView,
+    ShmGenerationError,
+    ShmPlane,
+)
+from test_sharded_grid import _observables, _run, _small_config, _small_workload
+
+pytestmark = pytest.mark.skipif(
+    not HAS_SHM, reason="requires numpy and multiprocessing.shared_memory")
+
+
+def _shm_executor(workers, batch_size=8, inline=True, delta_routing=True):
+    executor = MicroBatchExecutor(batch_size=batch_size, max_workers=workers,
+                                  shard_lookup=True, shm_plane=True,
+                                  delta_routing=delta_routing)
+    executor._shm_inline = inline
+    return executor
+
+
+def _shm_engine(workload, config, workers=2, **kwargs):
+    return TERiDSEngine(repository=workload.repository, config=config,
+                        executor=_shm_executor(workers, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Knob validation
+# ---------------------------------------------------------------------------
+def test_shm_plane_requires_shard_lookup():
+    with pytest.raises(ValueError, match="shard_lookup"):
+        MicroBatchExecutor(max_workers=2, shm_plane=True)
+
+
+def test_shm_plane_requires_vectorized():
+    with pytest.raises(ValueError, match="vectorized"):
+        MicroBatchExecutor(max_workers=2, shard_lookup=True, shm_plane=True,
+                           vectorized=False)
+
+
+def test_shm_plane_requires_persistent_pool():
+    with pytest.raises(ValueError, match="pool_mode"):
+        MicroBatchExecutor(max_workers=2, shard_lookup=True, shm_plane=True,
+                           pool_mode="per-batch")
+
+
+# ---------------------------------------------------------------------------
+# Golden bit-identity (seed reference), inline + real processes
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_shm_plane_matches_seed_golden(workers):
+    dataset, scale, seed, window = GOLDEN_WORKLOADS[0]
+    golden = json.loads(golden_path(dataset).read_text())["reference"]
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    executor = _shm_executor(workers, batch_size=16)
+    try:
+        got = run_reference(
+            lambda **kwargs: TERiDSEngine(executor=executor, **kwargs),
+            workload, config)
+    finally:
+        executor.close()
+    assert got == golden
+
+
+def test_shm_plane_matches_serial_across_real_processes():
+    """The full cross-process protocol — mapped segments, pickled journal,
+    need/backfill round-trips — reproduces the serial observables."""
+    workload = _small_workload()
+    config = _small_config(workload)
+    serial = _run(workload, config, SerialExecutor())
+    got = _run(workload, config, _shm_executor(2, inline=False))
+    assert got == serial
+
+
+# ---------------------------------------------------------------------------
+# Shm determinism property: any shard count, routing on or off
+# ---------------------------------------------------------------------------
+_PROPERTY_WORKLOAD = _small_workload()
+_PROPERTY_SERIAL = _run(_PROPERTY_WORKLOAD,
+                        _small_config(_PROPERTY_WORKLOAD), SerialExecutor())
+
+
+@given(regions=st.sampled_from([1, 2, 4, 8]),
+       batch_size=st.integers(min_value=1, max_value=9),
+       delta_routing=st.booleans())
+@settings(max_examples=12, deadline=None)
+def test_shm_plane_bit_identical_to_serial(regions, batch_size,
+                                           delta_routing):
+    config = _small_config(_PROPERTY_WORKLOAD)
+    got = _run(_PROPERTY_WORKLOAD, config,
+               _shm_executor(regions, batch_size=batch_size,
+                             delta_routing=delta_routing))
+    assert got == _PROPERTY_SERIAL
+
+
+def test_shm_plane_broadcast_and_routed_pools_identical():
+    """Routing is a pure transport optimisation: the routed pool and the
+    replicated-broadcast pool produce identical matches and counters, and
+    routing strictly reduces the synopses shipped."""
+    workload = _small_workload()
+    config = _small_config(workload)
+
+    routed_executor = _shm_executor(4)
+    broadcast_executor = _shm_executor(4, delta_routing=False)
+    routed_engine = TERiDSEngine(repository=workload.repository,
+                                 config=config, executor=routed_executor)
+    broadcast_engine = TERiDSEngine(repository=workload.repository,
+                                    config=config,
+                                    executor=broadcast_executor)
+    try:
+        routed = _observables(
+            routed_engine,
+            routed_engine.run(workload.interleaved_records()).matches)
+        broadcast = _observables(
+            broadcast_engine,
+            broadcast_engine.run(workload.interleaved_records()).matches)
+        assert routed == broadcast
+        routed_transport = routed_engine.pipeline.ctx.transport
+        broadcast_transport = broadcast_engine.pipeline.ctx.transport
+        # Broadcast ships every arrival to every worker; routing plus its
+        # backfills must come in strictly under that.
+        assert broadcast_transport.deltas_routed \
+            == 4 * broadcast_transport.orders_shipped
+        assert (routed_transport.deltas_routed + routed_transport.backfills
+                < broadcast_transport.deltas_routed)
+        assert broadcast_transport.backfills == 0
+        assert routed_transport.shm_bytes_mapped > 0
+    finally:
+        routed_engine.close()
+        broadcast_engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Targeted routing: lazy backfill is exactly-once per (worker, handle)
+# ---------------------------------------------------------------------------
+def test_cross_region_queries_backfill_exactly_once():
+    workload = _small_workload()
+    config = _small_config(workload)
+    executor = _shm_executor(4)
+    engine = TERiDSEngine(repository=workload.repository, config=config,
+                          executor=executor)
+    try:
+        engine.run(workload.interleaved_records())
+        log = executor._shm_pool.backfill_log
+        transport = engine.pipeline.ctx.transport
+        # This workload does produce cross-region references...
+        assert transport.backfills > 0
+        # ...each served exactly once: re-referencing a backfilled handle
+        # must hit the worker's residency, not the wire.
+        assert len(log) == len(set(log))
+        assert transport.backfills == len(log)
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restore (segments are process-local scratch)
+# ---------------------------------------------------------------------------
+def test_shm_checkpoint_restore_mid_stream_into_fresh_pool():
+    workload = _small_workload()
+    config = _small_config(workload)
+    records = list(workload.interleaved_records())
+    half = len(records) // 2
+
+    uninterrupted = _run(workload, config, SerialExecutor())
+
+    first = _shm_engine(workload, config)
+    try:
+        matches = list(first.process_batch(records[:half]))
+        state = first.checkpoint()
+    finally:
+        first.close()
+
+    resumed = _shm_engine(workload, config)
+    try:
+        resumed.restore_checkpoint(state)
+        matches.extend(resumed.process_batch(records[half:]))
+        got = _observables(resumed, matches)
+    finally:
+        resumed.close()
+    assert got == uninterrupted
+
+
+def test_shm_pool_self_heals_after_restore_into_same_engine():
+    """Restoring into the same engine leaves the workers' membership
+    mirrors stale; the next batch's reset snapshot must repair them."""
+    workload = _small_workload()
+    config = _small_config(workload)
+    records = list(workload.interleaved_records())
+    half = len(records) // 2
+
+    uninterrupted = _run(workload, config, SerialExecutor())
+
+    engine = _shm_engine(workload, config)
+    try:
+        matches = list(engine.process_batch(records[:half]))
+        state = engine.checkpoint()
+        engine.process_batch(records[half:])
+        engine.restore_checkpoint(state)
+        matches.extend(engine.process_batch(records[half:]))
+        got = _observables(engine, matches)
+    finally:
+        engine.close()
+    assert got == uninterrupted
+
+
+def test_shm_transport_scalars_ride_in_checkpoints():
+    workload = _small_workload()
+    config = _small_config(workload)
+    engine = _shm_engine(workload, config, workers=4)
+    try:
+        engine.run(workload.interleaved_records())
+        transport = engine.pipeline.ctx.transport
+        assert transport.deltas_routed > 0
+        state = engine.checkpoint()
+    finally:
+        engine.close()
+    for name in ("deltas_routed", "backfills", "shm_bytes_mapped"):
+        assert state["transport_stats"][name] == getattr(transport, name)
+    restored = _shm_engine(workload, config)
+    try:
+        restored.restore_checkpoint(state)
+        for name in ("deltas_routed", "backfills", "shm_bytes_mapped"):
+            assert getattr(restored.pipeline.ctx.transport, name) \
+                == getattr(transport, name)
+    finally:
+        restored.close()
+
+
+# ---------------------------------------------------------------------------
+# Protocol safety: generation / epoch validation
+# ---------------------------------------------------------------------------
+def test_view_rejects_generation_mismatch():
+    arena = ShmArena("test")
+    try:
+        arena.rebuild([("data", (4, 2), "f8")])
+        descriptor = dict(arena.descriptor())
+        descriptor["generation"] = descriptor["generation"] + 1
+        view = ShmArenaView()
+        with pytest.raises(ShmGenerationError, match="generation"):
+            view.attach(descriptor)
+        # An already-attached view re-verifies on every attach call.
+        view.attach(arena.descriptor())
+        with pytest.raises(ShmGenerationError, match="generation"):
+            view.attach(descriptor)
+        view.close()
+    finally:
+        arena.close()
+
+
+def test_view_rejects_epoch_mismatch():
+    arena = ShmArena("test")
+    view = ShmArenaView()
+    try:
+        arena.rebuild([("data", (4, 2), "f8")])
+        arena.set_epoch(3)
+        view.attach(arena.descriptor())
+        view.check_epoch(3)
+        with pytest.raises(ShmGenerationError, match="epoch"):
+            view.check_epoch(4)
+    finally:
+        view.close()
+        arena.close()
+
+
+def test_view_arrays_are_read_only():
+    arena = ShmArena("test")
+    view = ShmArenaView()
+    try:
+        arrays = arena.rebuild([("data", (4, 2), "f8")])
+        arrays["data"][1, 1] = 7.5
+        view.attach(arena.descriptor())
+        assert view.arrays["data"][1, 1] == 7.5
+        with pytest.raises((ValueError, RuntimeError)):
+            view.arrays["data"][0, 0] = 1.0
+    finally:
+        view.close()
+        arena.close()
+
+
+def test_arena_growth_prefix_copies_and_retires_old_segment():
+    arena = ShmArena("test")
+    view = ShmArenaView()
+    try:
+        arrays = arena.rebuild([("data", (4, 2), "f8")])
+        arrays["data"][:] = 1.25
+        first_descriptor = arena.descriptor()
+        view.attach(first_descriptor)
+        assert len(shm_plane.active_segment_names()) == 1
+
+        arrays = arena.rebuild([("data", (16, 2), "f8")])
+        assert float(arrays["data"][3, 1]) == 1.25  # prefix carried over
+        assert float(arrays["data"][4, 0]) == 0.0   # fresh rows zeroed
+        # Old generation already unlinked (the view still maps it safely).
+        assert shm_plane.active_segment_names() == [arena.descriptor()["segment"]]
+        assert view.arrays["data"][0, 0] == 1.25
+        # The stale descriptor is now detectable.
+        view.attach(arena.descriptor())
+        assert view.arrays["data"].shape == (16, 2)
+    finally:
+        view.close()
+        arena.close()
+
+
+# ---------------------------------------------------------------------------
+# Segment lifecycle: close / crash / leak accounting
+# ---------------------------------------------------------------------------
+def test_engine_close_unlinks_all_segments_and_localizes_stores():
+    workload = _small_workload()
+    config = _small_config(workload)
+    engine = _shm_engine(workload, config)
+    records = list(workload.interleaved_records())
+    half = len(records) // 2
+    try:
+        engine.process_batch(records[:half])
+        assert shm_plane.active_segment_names()
+        assert shm_plane.scan_dev_shm()
+        grid = engine.pipeline.ctx.grid
+        assert grid.packed_store.arena is not None
+        assert grid.cell_store.arena is not None
+    finally:
+        engine.close()
+    shm_plane._sweep_stale()
+    assert shm_plane.active_segment_names() == []
+    assert shm_plane.scan_dev_shm() == []
+    # The stores were localised out of the unlinked arenas: the engine
+    # keeps working serially after its executor is gone.
+    assert grid.packed_store.arena is None
+    assert grid.cell_store.arena is None
+    engine.executor = SerialExecutor()
+    engine.process_batch(records[half:])
+
+
+def test_worker_crash_surfaces_and_segments_still_unlink():
+    workload = _small_workload()
+    config = _small_config(workload)
+    executor = _shm_executor(2, inline=False)
+    engine = TERiDSEngine(repository=workload.repository, config=config,
+                          executor=executor)
+    records = list(workload.interleaved_records())
+    try:
+        engine.process_batch(records[:10])
+        victim = executor._shm_pool._processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10
+        while victim.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        with pytest.raises(RuntimeError):
+            engine.process_batch(records[10:20])
+    finally:
+        engine.close()
+    shm_plane._sweep_stale()
+    assert shm_plane.active_segment_names() == []
+    assert shm_plane.scan_dev_shm() == []
+
+
+def test_journal_pre_image_capture_is_first_wins():
+    import numpy as np
+
+    journal = GridJournal()
+    journal.capture_pre(3, np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+    journal.capture_pre(3, np.array([9.0, 9.0]), np.array([9.0, 9.0]))
+    assert journal.drain_pre() == {3: ((1.0, 2.0), (3.0, 4.0))}
+    assert journal.drain_pre() == {}
+
+
+def test_plane_nbytes_tracks_both_arenas():
+    plane = ShmPlane()
+    try:
+        assert plane.nbytes == 0
+        plane.packed.rebuild([("data", (8, 3), "f8")])
+        plane.cells.rebuild([("lb", (8, 3), "f8"), ("ub", (8, 3), "f8")])
+        assert plane.nbytes == plane.packed.nbytes + plane.cells.nbytes > 0
+    finally:
+        plane.close()
+    assert plane.nbytes == 0
