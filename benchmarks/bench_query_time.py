@@ -1,0 +1,180 @@
+"""Query-time resolution: lookup latency vs eager ingestion throughput.
+
+The on-demand read path (:class:`~repro.runtime.query.QueryResolver`) is
+only useful if an interactive lookup is cheap next to the eager write path
+it rides on.  This bench ingests a stream eagerly (publishing the eager
+throughput as the baseline), then measures three lookup regimes over the
+final live window:
+
+* **cold** — every ``resolve`` misses the cache (it is cleared between
+  queries): frontier expansion + batched cascade from scratch;
+* **warm** — steady state: every cluster was resolved before and no window
+  maintenance ran since, so every lookup is a region-validated cache hit;
+* **mixed mid-stream** — lookups interleaved with ingestion (one query
+  burst per batch), the regime the cache's region-targeted invalidation
+  exists for.
+
+The acceptance bar is a >= 5x p50 speedup of warm over cold lookups —
+cached repeat queries must be near-free — plus bit-identity of every
+cluster across the regimes (asserted, published as a column).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_query_time.py [--json] [--smoke]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from bench_utils import bench_argument_parser, write_bench_json  # noqa: E402
+from repro.core.config import TERiDSConfig  # noqa: E402
+from repro.core.engine import TERiDSEngine  # noqa: E402
+from repro.datasets.synthetic import generate_dataset  # noqa: E402
+from repro.experiments.harness import format_rows  # noqa: E402
+
+BENCH_NAME = "query_time"
+BENCH_DATASET = "citations"
+BENCH_SEED = 7
+CACHED_TARGET_SPEEDUP = 5.0
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _cluster_signature(cluster) -> tuple:
+    return (cluster.members,
+            tuple((pair.key(), pair.probability, pair.timestamp)
+                  for pair in cluster.pairs))
+
+
+def run_bench(smoke: bool, params_out: Dict) -> Dict[str, object]:
+    scale = 0.2 if smoke else 1.0
+    window = 20 if smoke else 60
+    warm_rounds = 3 if smoke else 10
+    workload = generate_dataset(BENCH_DATASET, missing_rate=0.3, scale=scale,
+                                seed=BENCH_SEED)
+    config = TERiDSConfig(schema=workload.schema, keywords=workload.keywords,
+                          alpha=0.5, similarity_ratio=0.5,
+                          window_size=window)
+    records = list(workload.interleaved_records())
+    params_out.update({"scale": scale, "window": window,
+                       "records": len(records), "missing_rate": 0.3,
+                       "warm_rounds": warm_rounds})
+
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+    try:
+        # -- eager baseline: the write path the lookups ride on ------------
+        started = time.perf_counter()
+        half = len(records) // 2
+        engine.run(records[:half])
+        # -- mixed regime: lookups interleaved with live ingestion ---------
+        mixed_samples: List[float] = []
+        step = max(1, len(records[half:]) // 8)
+        for start in range(half, len(records), step):
+            engine.process_batch(records[start:start + step])
+            probes = engine.grid.synopsis_items()[-3:]
+            for (rid, source), _ in probes:
+                t0 = time.perf_counter()
+                engine.resolve(rid, source)
+                mixed_samples.append(time.perf_counter() - t0)
+        eager_seconds = time.perf_counter() - started
+
+        entities = [key for key, _ in engine.grid.synopsis_items()]
+
+        # -- cold: every lookup recomputes from scratch ---------------------
+        cold_samples: List[float] = []
+        signatures = {}
+        for rid, source in entities:
+            engine.resolver.clear()
+            t0 = time.perf_counter()
+            cluster = engine.resolve(rid, source)
+            cold_samples.append(time.perf_counter() - t0)
+            signatures[(rid, source)] = _cluster_signature(cluster)
+
+        # -- warm: steady-state repeat queries are cache hits ---------------
+        engine.resolver.clear()
+        for rid, source in entities:
+            engine.resolve(rid, source)  # warm the cache
+        warm_samples: List[float] = []
+        identical = True
+        for _ in range(warm_rounds):
+            for rid, source in entities:
+                t0 = time.perf_counter()
+                cluster = engine.resolve(rid, source)
+                warm_samples.append(time.perf_counter() - t0)
+                if _cluster_signature(cluster) != signatures[(rid, source)]:
+                    identical = False
+
+        stats = engine.ctx.query.as_dict()
+        cold_p50 = _percentile(cold_samples, 0.50)
+        warm_p50 = _percentile(warm_samples, 0.50)
+        return {
+            "window_entities": len(entities),
+            "eager_tuples_per_sec": round(
+                len(records) / eager_seconds, 1) if eager_seconds else 0.0,
+            "cold_p50_us": round(cold_p50 * 1e6, 1),
+            "cold_p95_us": round(_percentile(cold_samples, 0.95) * 1e6, 1),
+            "warm_p50_us": round(warm_p50 * 1e6, 1),
+            "warm_p95_us": round(_percentile(warm_samples, 0.95) * 1e6, 1),
+            "mixed_p50_us": round(
+                _percentile(mixed_samples, 0.50) * 1e6, 1),
+            "mixed_p95_us": round(
+                _percentile(mixed_samples, 0.95) * 1e6, 1),
+            "cached_speedup": round(cold_p50 / warm_p50, 2) if warm_p50
+            else float("inf"),
+            "clusters_identical": identical,
+            "cache_hits": stats["cache_hits"],
+            "cache_misses": stats["cache_misses"],
+            "cache_invalidations": stats["cache_invalidations"],
+        }
+    finally:
+        engine.close()
+
+
+def main(argv=None) -> int:
+    parser = bench_argument_parser(
+        "Query-time resolve() latency vs eager ingestion throughput")
+    args = parser.parse_args(argv)
+
+    params: Dict[str, object] = {}
+    row = run_bench(smoke=args.smoke, params_out=params)
+
+    print("\n=== query-time resolution ===")
+    print(format_rows([row]))
+    if not row["clusters_identical"]:
+        print("FAIL: cached clusters diverged from the cold resolves")
+        return 1
+
+    if args.json is not None:
+        write_bench_json(BENCH_NAME, {
+            "params": params,
+            "row": row,
+            "target_cached_speedup": CACHED_TARGET_SPEEDUP,
+            "smoke": args.smoke,
+        }, path=args.json or None)
+    if args.smoke:
+        # The smoke run gates correctness (identity above) and publishes
+        # the columns; the latency bar is only meaningful at full scale,
+        # but a cache hit should beat a recompute at any scale.
+        ok = row["cached_speedup"] >= 1.0
+    else:
+        ok = row["cached_speedup"] >= CACHED_TARGET_SPEEDUP
+    if not ok:
+        print(f"FAIL: cached_speedup {row['cached_speedup']} below target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ from repro.runtime.checkpoint import engine_state_to_dict, restore_engine_state
 from repro.runtime.context import RuntimeContext
 from repro.runtime.executors import Executor, SerialExecutor
 from repro.runtime.pipeline import Pipeline
+from repro.runtime.query import QueryResolver, ResolvedCluster
 
 
 @dataclass
@@ -150,6 +151,7 @@ class TERiDSEngine:
         )
         self.pipeline = Pipeline(self.ctx)
         self.executor: Executor = executor if executor is not None else SerialExecutor()
+        self._resolver: Optional[QueryResolver] = None
 
     # ------------------------------------------------------------------
     # state passthroughs (historical attribute names of the monolith)
@@ -275,6 +277,33 @@ class TERiDSEngine:
         self.executor.close()
 
     # ------------------------------------------------------------------
+    # query-time resolution (on-demand read path)
+    # ------------------------------------------------------------------
+    @property
+    def resolver(self) -> QueryResolver:
+        """The query-time resolver over this engine's live window.
+
+        Created lazily (and registered on the grid's maintenance
+        notifications) on first use, so eager-only deployments pay nothing.
+        """
+        if self._resolver is None:
+            self._resolver = QueryResolver(self.ctx)
+        return self._resolver
+
+    def resolve(self, rid: str, source: str, topic=None,
+                gamma=None) -> ResolvedCluster:
+        """Resolved cluster of one in-window record, on demand.
+
+        Expands collectively around the named record through the ER-grid +
+        pruning cascade (see :mod:`repro.runtime.query`); with the default
+        ``topic`` / ``gamma`` the cluster is bit-identical to the transitive
+        closure of the eagerly maintained result set restricted to the
+        record's component.  Raises :class:`KeyError` for records outside
+        the live window.
+        """
+        return self.resolver.resolve(rid, source, topic=topic, gamma=gamma)
+
+    # ------------------------------------------------------------------
     # checkpoint / restore
     # ------------------------------------------------------------------
     def checkpoint(self) -> Dict:
@@ -290,6 +319,12 @@ class TERiDSEngine:
     def restore_checkpoint(self, state: Dict) -> None:
         """Rebuild the online state from a :meth:`checkpoint` snapshot."""
         restore_engine_state(self.ctx, state)
+        if self._resolver is not None:
+            # The query-result cache is scratch over the live window: the
+            # grid rebuild already invalidated every entry region by
+            # region, and this keeps the guarantee explicit whatever the
+            # restore path touched.
+            self._resolver.clear()
 
     def save_checkpoint(self, path) -> None:
         """Write a :meth:`checkpoint` snapshot to a JSON file."""

@@ -210,6 +210,13 @@ class CellStore:
         cell may contain a keyword-bearing tuple.  Free rows carry stale
         aggregates; callers only consult rows of live cells.
         """
+        if self.lb is None:
+            # Enabled-but-empty store: no row was ever written (arrays are
+            # only allocated by the first insert), so nothing can survive.
+            # A lookup may legitimately precede the first insert — e.g. a
+            # query-time resolve against a freshly enabled grid — and must
+            # see an all-dead mask, not a crash on the ``None`` arrays.
+            return _np.zeros(0, dtype=bool)
         query_lb = _np.fromiter((low for low, _ in rectangle), dtype=float,
                                 count=len(rectangle))
         query_ub = _np.fromiter((high for _, high in rectangle), dtype=float,
@@ -238,6 +245,7 @@ class ERGrid:
         #: per-batch cell-membership mutations for shared-memory workers.
         self.journal = None
         self._mutations = 0
+        self._maintenance_listeners: List = []
         self.cells_examined = 0
         self.tuples_examined = 0
 
@@ -314,6 +322,45 @@ class ERGrid:
         width = 1.0 / self.cells_per_dim
         return [(index * width, (index + 1) * width) for index in coordinates]
 
+    def cells_within_margin(self, rectangle: Sequence[Tuple[float, float]],
+                            margin: float, lattice_cap: Optional[int] = None,
+                            ) -> Optional[Set[Tuple[int, ...]]]:
+        """Every lattice cell whose min L1 distance to ``rectangle`` is
+        below ``margin`` — whether or not the cell currently exists.
+
+        This is the *region set* of a query rectangle: by the cell-level
+        distance bound (Lemma 4.2), a record can only have an instance pair
+        with similarity above ``d − margin`` against a tuple whose rectangle
+        intersects one of these cells — so any future insert outside the set
+        provably cannot match the query.  The query-result cache keys its
+        invalidation on exactly this set.  With ``lattice_cap`` set, returns
+        ``None`` instead of enumerating a lattice larger than the cap
+        (callers degrade to coarse invalidation).
+        """
+        dimensions = len(rectangle)
+        if lattice_cap is not None and self.cells_per_dim ** dimensions > lattice_cap:
+            return None
+        if margin <= 0:
+            return set()
+        width = 1.0 / self.cells_per_dim
+        axis_distances = [
+            [min_attribute_distance(interval, (index * width,
+                                               (index + 1) * width))
+             for index in range(self.cells_per_dim)]
+            for interval in rectangle
+        ]
+        within: Set[Tuple[int, ...]] = set()
+        for coordinates in itertools.product(range(self.cells_per_dim),
+                                             repeat=dimensions):
+            total = 0.0
+            for dimension, coordinate in enumerate(coordinates):
+                total += axis_distances[dimension][coordinate]
+                if total >= margin:
+                    break
+            else:
+                within.add(coordinates)
+        return within
+
     def home_cell(self, synopsis: RecordSynopsis) -> Tuple[int, ...]:
         """Anchor cell of a synopsis: the cell of its rectangle's min corner."""
         return tuple(self._bucket(low)
@@ -371,6 +418,20 @@ class ERGrid:
         """
         return self._mutations
 
+    def add_maintenance_listener(self, listener) -> None:
+        """Subscribe to grid mutations: ``listener(cell_coordinates)`` runs
+        after every :meth:`insert` / :meth:`remove` with the coordinates of
+        the cells the mutation touched.  Every window-maintenance path —
+        arrival insertion, count-based expiry, event-time retraction and
+        checkpoint restore — flows through those two methods, so this is
+        the single chokepoint the query-result cache keys its region-based
+        invalidation on."""
+        self._maintenance_listeners.append(listener)
+
+    def _notify_maintenance(self, cell_keys: List[Tuple[int, ...]]) -> None:
+        for listener in self._maintenance_listeners:
+            listener(cell_keys)
+
     def contains(self, rid: str, source: str) -> bool:
         return (rid, source) in self._synopses
 
@@ -403,6 +464,8 @@ class ERGrid:
         self._synopses[key] = synopsis
         if self._packed_store is not None:
             self._packed_store.insert(synopsis)
+        if self._maintenance_listeners:
+            self._notify_maintenance(cell_keys)
 
     def remove(self, rid: str, source: str) -> bool:
         """Evict one (expired) tuple (Algorithm 2, lines 2–7)."""
@@ -432,6 +495,8 @@ class ERGrid:
         del self._synopses[key]
         if self._packed_store is not None:
             self._packed_store.remove(rid, source)
+        if self._maintenance_listeners:
+            self._notify_maintenance(cell_keys)
         return True
 
     def synopses(self) -> List[RecordSynopsis]:

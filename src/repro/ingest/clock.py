@@ -165,8 +165,14 @@ class WatermarkClock:
         self.register(origin)
         # A woken idle source rejoins the watermark *before* the late
         # check — against an idle (infinite) stream watermark every
-        # arrival would count as late.
+        # arrival would count as late.  A *closed* source that emits again
+        # (e.g. a CallbackSource pushed after a drain, without the driver
+        # re-opening it) wakes the same way: its closed-stream watermark is
+        # also infinite, so without the wake every element of the revived
+        # stream would be classified late.
         self._idle.discard(origin)
+        if self._closed.get(origin, False):
+            self._closed[origin] = False
         element.seq = self._seq
         self._seq += 1
         if element.event_time < self.stream_watermark(origin):
@@ -224,6 +230,7 @@ class WatermarkClock:
                      if high != -math.inf},
             "closed": sorted(origin for origin, closed in self._closed.items()
                              if closed),
+            "idle": sorted(self._idle),
         }
 
     def restore_state(self, state: Dict) -> None:
@@ -243,6 +250,14 @@ class WatermarkClock:
         # driver actually reads are re-opened by ``open`` at run start.
         for origin in state.get("closed", []):
             self.close(origin)
+        # Idle punctuation survives the snapshot too: a source marked idle
+        # before the checkpoint was releasing the watermark, and must not
+        # silently rejoin (and stall) the restored one — until the next
+        # idle timeout if the resumed driver reads it, forever if not.  It
+        # still wakes on its next observe, exactly like a live idle mark.
+        for origin in state.get("idle", []):
+            self.register(origin)
+            self._idle.add(origin)
         # Continue the arrival numbering where the snapshot left off so
         # ``observed_count`` stays a cumulative replay offset across resumes.
         self._seq = max(self._seq, int(state.get("observed", 0)))

@@ -251,8 +251,15 @@ class IngestDriver:
         self._queue = queue
         for source in self.sources:
             # ``open`` (not ``register``): a restored checkpoint may have
-            # recorded this source name closed by its final drain.
+            # recorded this source name closed by its final drain.  A
+            # restored *idle* mark is re-applied after the open: the source
+            # was silent at the snapshot and must stay off the watermark
+            # until it actually emits (its next observe wakes it), instead
+            # of stalling the resumed run until the next idle timeout.
+            was_idle = self._clock.is_idle(source.name)
             self._clock.open(source.name)
+            if was_idle:
+                self._clock.mark_idle(source.name)
             self._last_arrival[source.name] = loop.time()
         self._idle_floor = loop.time()
         if self.process_in_executor and self._process_pool is None:
@@ -362,6 +369,38 @@ class IngestDriver:
             final_watermark=self._clock.watermark,
             total_seconds=loop.time() - start,
         )
+
+    # -- query-time resolution (interleaved lookups) -------------------------
+    def resolve(self, rid: str, source: str, topic=None, gamma=None):
+        """Resolve one in-window entity's cluster between batches.
+
+        The on-demand read path over the live window (see
+        :mod:`repro.runtime.query`): safe from the event-loop thread — an
+        ``on_batch`` callback or a task on the same loop — where lookups
+        interleave with batch processing at batch boundaries.  With
+        ``process_in_executor`` a batch may be refining *off* the loop
+        while this runs; use :meth:`resolve_async` there so the lookup
+        serialises behind the in-flight batch instead of racing it.
+        """
+        return self.engine.resolve(rid, source, topic=topic, gamma=gamma)
+
+    async def resolve_async(self, rid: str, source: str, topic=None,
+                            gamma=None):
+        """:meth:`resolve`, serialised with off-loop batch processing.
+
+        When the driver processes batches on its single worker thread
+        (``process_in_executor``), the lookup is submitted to that same
+        thread — batches stay strictly sequential and the lookup observes a
+        quiescent engine.  Without the worker thread this is just
+        :meth:`resolve`.
+        """
+        if self._process_pool is not None:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._process_pool,
+                lambda: self.engine.resolve(rid, source, topic=topic,
+                                            gamma=gamma))
+        return self.engine.resolve(rid, source, topic=topic, gamma=gamma)
 
     # -- internals -----------------------------------------------------------
     def _queue_depth(self) -> int:

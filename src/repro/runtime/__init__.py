@@ -11,7 +11,13 @@ online state lives in :mod:`repro.runtime.checkpoint`.
 """
 
 from repro.runtime.checkpoint import engine_state_to_dict, restore_engine_state
-from repro.runtime.context import IngestStats, RuntimeContext, TransportStats
+from repro.runtime.context import (
+    IngestStats,
+    QueryStats,
+    RuntimeContext,
+    TransportStats,
+)
+from repro.runtime.query import QueryResolver, ResolvedCluster
 from repro.runtime.evaluation import (
     evaluate_candidates,
     evaluate_pair_cached,
@@ -58,7 +64,10 @@ __all__ = [
     "POOL_PER_BATCH",
     "PersistentRefinementPool",
     "Pipeline",
+    "QueryResolver",
+    "QueryStats",
     "ResidentShard",
+    "ResolvedCluster",
     "RuleSelectionStage",
     "RuntimeContext",
     "SerialExecutor",

@@ -60,6 +60,11 @@ def engine_state_to_dict(ctx: RuntimeContext) -> Dict:
         # its replicas against the restored grid on the next batch
         # (self-healing), so only the accounting needs to survive.
         "transport_stats": ctx.transport.as_dict(),
+        # Query-time resolution counters.  The resolver's result cache is
+        # deliberately absent: cached clusters are scratch derived from the
+        # live window (the engine drops them on restore), so only the
+        # accounting crosses a checkpoint.
+        "query_stats": ctx.query.as_dict(),
     }
     if ctx.rule_maintainer is not None:
         # Incremental rule maintenance (Section 5.5): unlike the other
@@ -135,6 +140,7 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
 
     ctx.ingest.restore(state.get("ingest_stats", {}))
     ctx.transport.restore(state.get("transport_stats", {}))
+    ctx.query.restore(state.get("query_stats", {}))
 
     maintainer_state = state.get("rule_maintainer")
     if maintainer_state is not None:

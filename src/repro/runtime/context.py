@@ -114,6 +114,42 @@ class TransportStats:
         self.restore({})
 
 
+@dataclass
+class QueryStats:
+    """Query-time resolution accounting (see :mod:`repro.runtime.query`).
+
+    Maintained by the :class:`~repro.runtime.query.QueryResolver` next to
+    the ingest/transport stats.  Lives on the runtime context so the
+    counters ride in checkpoints and survive a drain/resume cycle; the
+    resolver's cached clusters themselves are scratch — dropped on restore,
+    never persisted — so only this accounting crosses a checkpoint.
+    """
+
+    #: ``resolve`` calls answered (cache hits + cold expansions).
+    resolves: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Cached clusters dropped because window maintenance (insert, expiry,
+    #: retraction, restore) touched a grid region they depend on.
+    cache_invalidations: int = 0
+    #: Frontier records expanded across all cold resolves — the query-time
+    #: analogue of the grid's ``tuples_examined``.
+    frontier_expansions: int = 0
+
+    _SCALARS = ("resolves", "cache_hits", "cache_misses",
+                "cache_invalidations", "frontier_expansions")
+
+    def as_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in self._SCALARS}
+
+    def restore(self, state: Dict) -> None:
+        for name in self._SCALARS:
+            setattr(self, name, state.get(name, 0))
+
+    def reset(self) -> None:
+        self.restore({})
+
+
 #: Retained per-batch sample count of the ingest series (latency / depth).
 INGEST_SERIES_WINDOW = 4096
 
@@ -235,6 +271,9 @@ class RuntimeContext:
     #: (see :class:`IngestStats`); zero unless an ``IngestDriver`` feeds
     #: this context.
     ingest: IngestStats = field(default_factory=IngestStats)
+    #: Query-time resolution accounting (see :class:`QueryStats`); zero
+    #: unless a ``QueryResolver`` serves lookups over this context.
+    query: QueryStats = field(default_factory=QueryStats)
 
     def __post_init__(self) -> None:
         if self.pruning is None:

@@ -1,0 +1,326 @@
+"""Query-time (on-demand) entity resolution over the live window.
+
+Eager TER-iDS resolves every *arriving* tuple against the window; nothing
+answers the inverse question — "what is entity X's resolved cluster right
+now?" — which is the read path an interactive service tier needs.
+Following the query-time ER formulation of Bhattacharya & Getoor, the
+:class:`QueryResolver` resolves *lazily around the named query*: it seeds a
+frontier from the query record's grid synopsis, retrieves each frontier
+ring's candidates through :meth:`~repro.indexes.er_grid.ERGrid.candidate_synopses`
+(cell-level Theorems 4.1 / Lemma 4.2), evaluates the ring with the batched
+pruning cascade + Theorem 4.4 refinement of :mod:`repro.runtime.evaluation`,
+and expands collectively — matched neighbours join the frontier — until a
+fixpoint.
+
+**Equivalence to eager resolution.**  A pair of in-window records from two
+different streams is in the maintained result set ``ES`` iff the pure
+pairwise cascade calls it a match: the pair was evaluated when the later of
+the two arrived (the earlier one was already in-window, and both still
+are), and pairs only leave ``ES`` when an endpoint leaves the window.  The
+resolver evaluates exactly that cascade over exactly those pairs — each
+oriented as the eager path saw it, ``(later arrival, earlier arrival)``, so
+probabilities accumulate in the same order — which makes the returned
+cluster the connected component of the query record under the eager match
+edges: bit-identical to the transitive closure of ``ES`` restricted to the
+query's component (pinned by ``tests/test_query_time.py`` across the
+serial, sharded and shm-plane configurations).
+
+**Result cache.**  Clusters land in an LRU cache keyed by ``(rid, source,
+topic signature, gamma)``.  Each entry records the grid *regions* it
+depends on — the cells its members touch plus every lattice cell within the
+match margin ``d − γ`` of a member's rectangle (a new record can only match
+a member if one of its cells lands inside that margin, by the cell-level
+distance bound).  Window maintenance (insert, count-based expiry,
+event-time retraction, checkpoint restore) notifies the resolver through
+:meth:`~repro.indexes.er_grid.ERGrid.add_maintenance_listener` with the
+touched cell coordinates, and only intersecting entries are dropped — so
+steady-state repeat queries are near-free while a stale cluster is never
+served.  The cache itself is scratch: checkpoints carry only the
+:class:`~repro.runtime.context.QueryStats` counters, and a restore clears
+every entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.matching import MatchPair, normalise_keywords
+from repro.core.pruning import HAS_NUMPY, PruningStats, RecordSynopsis
+from repro.runtime.context import RuntimeContext
+from repro.runtime.evaluation import evaluate_task_batch
+
+#: ``(rid, source)`` identity of one in-window record.
+RecordKey = Tuple[str, str]
+
+#: One cache key: record identity + topic signature + match threshold.
+CacheKey = Tuple[str, str, FrozenSet[str], float]
+
+
+@dataclass(frozen=True)
+class ResolvedCluster:
+    """The resolved entity cluster of one query record, at query time.
+
+    ``members`` are the ``(source, rid)`` endpoints of the transitive
+    closure (always including the query record itself — a record with no
+    match is a singleton cluster); ``pairs`` are the closure's match edges,
+    each bit-identical (probability, timestamp, orientation) to the pair
+    the eager path maintains in the entity result set.
+    """
+
+    rid: str
+    source: str
+    topic: FrozenSet[str]
+    gamma: float
+    members: Tuple[Tuple[str, str], ...]
+    pairs: Tuple[MatchPair, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def contains(self, rid: str, source: str) -> bool:
+        return (source, rid) in self.members
+
+
+class _CacheEntry:
+    """One cached cluster + the grid regions that can invalidate it."""
+
+    __slots__ = ("cluster", "regions")
+
+    def __init__(self, cluster: ResolvedCluster,
+                 regions: Optional[FrozenSet[Tuple[int, ...]]]) -> None:
+        self.cluster = cluster
+        #: ``None`` marks a *global* entry (lattice too large to enumerate):
+        #: any grid mutation invalidates it.
+        self.regions = regions
+
+
+class QueryResolver:
+    """On-demand collective resolution with a region-invalidated LRU cache.
+
+    Runs main-side against the live grid whatever executor drives the
+    eager path — the serial reference, the vectorized micro-batch executor,
+    the sharded lookup pool (whose main grid is thin: no packed/cell
+    stores) and the shm-plane all leave the main process a complete logical
+    grid, which is all the resolver reads.
+
+    Parameters
+    ----------
+    ctx:
+        The runtime context of the engine whose window is queried.
+    cache_size:
+        LRU bound of the result cache (entries, not bytes).
+    """
+
+    #: Above this lattice size the exact within-margin region set is not
+    #: enumerated; entries degrade to invalidate-on-any-mutation.
+    LATTICE_CAP = 4096
+
+    def __init__(self, ctx: RuntimeContext, cache_size: int = 128) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.ctx = ctx
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[CacheKey, _CacheEntry]" = OrderedDict()
+        self._by_cell: Dict[Tuple[int, ...], Set[CacheKey]] = {}
+        self._global_keys: Set[CacheKey] = set()
+        ctx.grid.add_maintenance_listener(self._on_grid_mutation)
+
+    # -- public API ----------------------------------------------------------
+    def resolve(self, rid: str, source: str,
+                topic: Optional[FrozenSet[str]] = None,
+                gamma: Optional[float] = None) -> ResolvedCluster:
+        """Resolved cluster of one in-window record, expanding collectively.
+
+        ``topic`` / ``gamma`` default to the operator configuration — with
+        the defaults the cluster equals the eager transitive closure; a
+        caller may narrow a lookup to a different topic keyword set or a
+        stricter similarity threshold, which re-runs the same cascade under
+        those parameters (cached separately per signature).
+
+        Raises :class:`KeyError` when the record is not in the live window.
+        """
+        ctx = self.ctx
+        pruning = ctx.pruning
+        keywords = (pruning.keywords if topic is None
+                    else normalise_keywords(topic))
+        gamma_value = pruning.gamma if gamma is None else float(gamma)
+        if not ctx.grid.contains(rid, source):
+            raise KeyError(f"({rid!r}, {source!r}) is not in the live window")
+        ctx.query.resolves += 1
+        cache_key: CacheKey = (rid, source, keywords, gamma_value)
+        entry = self._cache.get(cache_key)
+        if entry is not None:
+            ctx.query.cache_hits += 1
+            self._cache.move_to_end(cache_key)
+            return entry.cluster
+        ctx.query.cache_misses += 1
+        cluster, member_synopses = self._expand(
+            (rid, source), keywords, gamma_value)
+        self._store(cache_key, cluster, member_synopses, gamma_value)
+        return cluster
+
+    def clear(self) -> None:
+        """Drop every cached cluster (counted as invalidations)."""
+        self.ctx.query.cache_invalidations += len(self._cache)
+        self._cache.clear()
+        self._by_cell.clear()
+        self._global_keys.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # -- collective expansion ------------------------------------------------
+    def _expand(self, seed: RecordKey, keywords: FrozenSet[str],
+                gamma: float) -> Tuple[ResolvedCluster,
+                                       Dict[RecordKey, RecordSynopsis]]:
+        """Frontier fixpoint around ``seed``; returns cluster + member map."""
+        ctx = self.ctx
+        grid = ctx.grid
+        pruning = ctx.pruning
+        # Grid insertion order is window-arrival order, which recovers the
+        # orientation the eager path evaluated each pair under: the later
+        # arrival was the query side.
+        arrival = {key: index
+                   for index, (key, _) in enumerate(grid.synopsis_items())}
+        members: Dict[RecordKey, RecordSynopsis] = {
+            seed: grid.get_synopsis(*seed)}
+        edges: Dict[Tuple, MatchPair] = {}
+        evaluated: Set[Tuple[RecordKey, RecordKey]] = set()
+        scratch = PruningStats()
+        ring: List[RecordKey] = [seed]
+        # Interactive lookups must not perturb the Figure-4 style counters
+        # the goldens and checkpoints pin for the eager path.
+        saved = (grid.cells_examined, grid.tuples_examined)
+        try:
+            while ring:
+                items: List[Tuple[RecordSynopsis,
+                                  List[RecordSynopsis]]] = []
+                later_groups: "OrderedDict[RecordKey, Tuple[RecordSynopsis, List[RecordSynopsis]]]" = OrderedDict()
+                for key in ring:
+                    ctx.query.frontier_expansions += 1
+                    query = members[key]
+                    candidates = grid.candidate_synopses(
+                        query, gamma=gamma, keywords=frozenset(),
+                        exclude_source=query.record.source)
+                    earlier: List[RecordSynopsis] = []
+                    for candidate in candidates:
+                        ckey = (candidate.record.rid, candidate.record.source)
+                        pair_key = ((key, ckey) if key <= ckey
+                                    else (ckey, key))
+                        if pair_key in evaluated:
+                            continue
+                        evaluated.add(pair_key)
+                        if arrival[ckey] < arrival[key]:
+                            earlier.append(candidate)
+                        else:
+                            # The candidate arrived after this frontier
+                            # record, so the eager path evaluated the pair
+                            # with the *candidate* as query.
+                            group = later_groups.get(ckey)
+                            if group is None:
+                                group = (candidate, [])
+                                later_groups[ckey] = group
+                            group[1].append(query)
+                    if earlier:
+                        items.append((query, earlier))
+                items.extend(later_groups.values())
+                if not items:
+                    break
+                verdicts = evaluate_task_batch(
+                    items, keywords=keywords, gamma=gamma,
+                    alpha=pruning.alpha, use_topic=pruning.use_topic,
+                    use_similarity=pruning.use_similarity,
+                    use_probability=pruning.use_probability,
+                    use_instance=pruning.use_instance, stats=scratch,
+                    vectorized=HAS_NUMPY, store=grid.packed_store)
+                ring = []
+                for (query, candidates), item_verdicts in zip(items,
+                                                              verdicts):
+                    for candidate, (is_match, probability) in zip(
+                            candidates, item_verdicts):
+                        if not is_match:
+                            continue
+                        pair = MatchPair(
+                            left_rid=query.record.rid,
+                            left_source=query.record.source,
+                            right_rid=candidate.record.rid,
+                            right_source=candidate.record.source,
+                            probability=probability,
+                            timestamp=query.record.timestamp)
+                        edges[pair.key()] = pair
+                        for synopsis in (query, candidate):
+                            endpoint = (synopsis.record.rid,
+                                        synopsis.record.source)
+                            if endpoint not in members:
+                                members[endpoint] = synopsis
+                                ring.append(endpoint)
+        finally:
+            grid.cells_examined, grid.tuples_examined = saved
+        cluster = ResolvedCluster(
+            rid=seed[0], source=seed[1], topic=keywords, gamma=gamma,
+            members=tuple(sorted((source, rid)
+                                 for rid, source in members)),
+            pairs=tuple(sorted(edges.values(),
+                               key=lambda pair: pair.key())))
+        return cluster, members
+
+    # -- cache bookkeeping ---------------------------------------------------
+    def _store(self, cache_key: CacheKey, cluster: ResolvedCluster,
+               member_synopses: Dict[RecordKey, RecordSynopsis],
+               gamma: float) -> None:
+        grid = self.ctx.grid
+        margin = len(grid.schema) - gamma
+        regions: Optional[Set[Tuple[int, ...]]] = set()
+        for (rid, source), synopsis in member_synopses.items():
+            # A member's own cells: its expiry/retraction must always hit.
+            regions.update(grid.record_cells(rid, source))
+            if margin <= 0:
+                continue
+            within = grid.cells_within_margin(
+                synopsis.coordinate_rectangle(), margin,
+                lattice_cap=self.LATTICE_CAP)
+            if within is None:
+                regions = None
+                break
+            regions.update(within)
+        while len(self._cache) >= self.cache_size:
+            evicted_key, evicted = self._cache.popitem(last=False)
+            self._forget(evicted_key, evicted)
+        entry = _CacheEntry(cluster,
+                            None if regions is None else frozenset(regions))
+        self._cache[cache_key] = entry
+        if entry.regions is None:
+            self._global_keys.add(cache_key)
+        else:
+            for coordinates in entry.regions:
+                self._by_cell.setdefault(coordinates, set()).add(cache_key)
+
+    def _forget(self, cache_key: CacheKey, entry: _CacheEntry) -> None:
+        """Unlink one entry from the region index (entry already popped)."""
+        if entry.regions is None:
+            self._global_keys.discard(cache_key)
+            return
+        for coordinates in entry.regions:
+            keys = self._by_cell.get(coordinates)
+            if keys is not None:
+                keys.discard(cache_key)
+                if not keys:
+                    del self._by_cell[coordinates]
+
+    def _on_grid_mutation(self, cells) -> None:
+        """Drop every cached cluster whose regions a mutation touched."""
+        if not self._cache:
+            return
+        stale: Set[CacheKey] = set(self._global_keys)
+        for coordinates in cells:
+            keys = self._by_cell.get(tuple(coordinates))
+            if keys:
+                stale.update(keys)
+        for cache_key in stale:
+            entry = self._cache.pop(cache_key, None)
+            if entry is None:
+                continue
+            self._forget(cache_key, entry)
+            self.ctx.query.cache_invalidations += 1

@@ -192,3 +192,32 @@ class TestCandidateRetrieval:
         # With a tight gamma the distant population should be (at least
         # partially) pruned at the cell level.
         assert grid.tuples_examined <= 21
+
+
+class TestCellStoreEdgeCases:
+    def test_enabled_empty_store_scan_returns_all_dead(self):
+        """Regression: ``CellStore.scan`` dereferenced its ``None`` arrays
+        when a lookup preceded the first insert on a freshly enabled store
+        (the arrays are only allocated by the first write) — e.g. a
+        query-time resolve against a just-enabled grid."""
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        store = grid.enable_cell_store()
+        if store is None:
+            pytest.skip("requires numpy")
+        query = _synopsis("q", "weight loss", "diabetes", source="sq")
+        mask = store.scan(query.coordinate_rectangle(), margin=2.0,
+                          require_keyword=False)
+        assert len(mask) == 0
+        assert grid.candidate_synopses(query, gamma=0.5) == []
+
+
+class TestMaintenanceListeners:
+    def test_listener_fires_on_insert_and_remove_with_touched_cells(self):
+        grid = ERGrid(SCHEMA, cells_per_dim=4)
+        events = []
+        grid.add_maintenance_listener(lambda cells: events.append(sorted(cells)))
+        grid.insert(_synopsis("r1", "fever", "flu"))
+        touched = sorted(grid.record_cells("r1", "s1"))
+        assert events == [touched]
+        grid.remove("r1", "s1")
+        assert events == [touched, touched]

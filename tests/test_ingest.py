@@ -472,6 +472,53 @@ class TestWatermarkClock:
         # An arrival behind the restored high mark is late again.
         assert fresh.observe(_element(3, origin="a")) == OBSERVED_LATE_ADMITTED
 
+    def test_state_roundtrip_preserves_idle_marks(self):
+        """Regression: the idle set was dropped by ``state_to_dict``, so a
+        restored clock silently re-counted a stalled source into the global
+        watermark — stalling the resumed run until the next idle timeout,
+        or forever when the new driver has none."""
+        clock = WatermarkClock(lateness=0.0)
+        clock.open("live")
+        clock.open("stalled")
+        clock.observe(_element(5, origin="live"))
+        assert clock.mark_idle("stalled")
+        state = clock.state_to_dict()
+        assert state["idle"] == ["stalled"]
+        fresh = WatermarkClock(lateness=0.0)
+        fresh.restore_state(state)
+        assert fresh.is_idle("stalled")
+        assert fresh.watermark == 5.0  # still released, as before the snapshot
+        # The restored mark stays revocable: the source's next arrival
+        # wakes it, classified against its own stream watermark.
+        assert fresh.observe(_element(3, origin="stalled")) == OBSERVED_READY
+        assert not fresh.is_idle("stalled")
+        assert fresh.watermark == 3.0
+
+    def test_closed_source_wakes_on_new_emission(self):
+        """Regression: ``observe`` woke idle sources but not closed ones,
+        so a CallbackSource pushed after a drain kept its infinite stream
+        watermark and every element of the revived stream counted late."""
+        clock = WatermarkClock(lateness=0.0)
+        clock.observe(_element(10, origin="a"))
+        clock.observe(_element(20, origin="b"))
+        clock.release_ready()
+        clock.close("a")
+        assert clock.watermark == 20.0
+        assert clock.observe(_element(11, origin="a")) == OBSERVED_READY
+        assert clock.watermark == 11.0  # 'a' counts into the minimum again
+        # An element genuinely behind its own stream watermark is still late.
+        assert clock.observe(_element(5, origin="a")) == OBSERVED_LATE_ADMITTED
+
+    def test_closed_source_wake_respects_the_shed_policy(self):
+        clock = WatermarkClock(lateness=0.0, late_policy=LATE_SHED)
+        clock.observe(_element(10, origin="a"))
+        clock.release_ready()
+        clock.close("a")
+        # In order for the revived stream: admitted, not shed.
+        assert clock.observe(_element(12, origin="a")) == OBSERVED_READY
+        # Behind the revived stream's watermark: shed by policy, as always.
+        assert clock.observe(_element(8, origin="a")) == OBSERVED_LATE_SHED
+
     def test_rejects_bad_knobs(self):
         with pytest.raises(ValueError):
             WatermarkClock(lateness=-1)
@@ -918,6 +965,43 @@ def test_idle_timeout_golden_identity_with_live_sources():
                             policy=BatchPolicy(max_batch=13),
                             idle_timeout=30.0)
     assert got == golden
+
+
+def test_restored_idle_source_does_not_stall_the_resumed_run():
+    """A source marked idle at snapshot time stays off the watermark when
+    the resumed driver re-opens it: the resumed run below has NO idle
+    timeout, so only the restored (and preserved) idle mark lets the live
+    stream's tuples flow before the stalled source finally closes."""
+    workload = build_workload(*GOLDEN_WORKLOADS[0][:3])
+    config = build_config(workload, 30)
+    records = workload.interleaved_records()[:12]
+
+    setup_engine = TERiDSEngine(repository=workload.repository, config=config)
+    setup = IngestDriver(setup_engine,
+                         [ReplaySource([]), CallbackSource(name="stalled")])
+    setup._clock.open("stalled")
+    setup._clock.mark_idle("stalled")
+    state = setup.checkpoint()
+    assert state["ingest"]["clock"]["idle"] == ["stalled"]
+
+    engine = TERiDSEngine(repository=workload.repository, config=config)
+    stalled = CallbackSource(name="stalled")
+
+    def close_when_done(driver, _batch):
+        if driver.tuples_processed >= len(records):
+            stalled.close()
+
+    driver = IngestDriver(engine, [ReplaySource(records), stalled],
+                          policy=BatchPolicy(max_batch=4),
+                          on_batch=close_when_done)
+    driver.restore_checkpoint(state)
+
+    async def bounded_run():
+        return await asyncio.wait_for(driver.run_async(), timeout=60)
+
+    report = asyncio.run(bounded_run())
+    assert report.tuples_processed == len(records)
+    assert engine.timestamps_processed == len(records)
 
 
 def test_idle_timeout_validation():
