@@ -75,6 +75,13 @@ class TERiDSConfig:
         from the streams themselves.  Off by default — absorbing changes
         imputation answers, so replay determinism against the pinned goldens
         requires the flag off.
+    patch_cdd_indexes:
+        When live incremental maintenance installs an updated rule set, patch
+        the per-attribute CDD-indexes in place from the maintainer's rule
+        diff (``CDDIndex.apply_diff``) instead of rebuilding every lattice
+        and aR-tree from scratch.  Patched indexes are bit-identical to
+        rebuilt ones; the knob exists as an escape hatch and for A/B
+        benchmarking.  Checkpoint restore and full re-mines always rebuild.
     """
 
     schema: Schema
@@ -91,6 +98,7 @@ class TERiDSConfig:
     use_probability_pruning: bool = True
     use_instance_pruning: bool = True
     absorb_complete_tuples: bool = False
+    patch_cdd_indexes: bool = True
     random_seed: int = 7
 
     def __post_init__(self) -> None:

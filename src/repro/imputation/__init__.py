@@ -15,7 +15,9 @@ from repro.imputation.cdd import (
 from repro.imputation.constraint import StreamConstraintImputer
 from repro.imputation.dd import (
     DDDiscoveryConfig,
+    DDMaintenanceReport,
     DDRule,
+    IncrementalDDMaintainer,
     dd_rules_as_cdds,
     discover_dd_rules,
 )
@@ -50,10 +52,12 @@ __all__ = [
     "CDDImputer",
     "DataRepository",
     "DDDiscoveryConfig",
+    "DDMaintenanceReport",
     "DDRule",
     "EditingRule",
     "EditingRuleImputer",
     "ImputationStats",
+    "IncrementalDDMaintainer",
     "IncrementalRuleMaintainer",
     "MaintenanceReport",
     "RepositoryError",

@@ -19,6 +19,7 @@ running example).
 
 from __future__ import annotations
 
+import functools
 import itertools
 import random
 from dataclasses import dataclass, field
@@ -135,9 +136,10 @@ class CDDRule:
         if not (0.0 <= low <= high <= 1.0 + 1e-9):
             raise RuleError(f"invalid dependent interval {self.dependent_interval}")
 
-    @property
+    @functools.cached_property
     def determinant_attributes(self) -> Tuple[str, ...]:
-        """Names of the determinant attributes ``X``."""
+        """Names of the determinant attributes ``X`` (cached: the rule is
+        frozen, and index grouping reads this on every rule per install)."""
         return tuple(constraint.attribute for constraint in self.determinants)
 
     @property

@@ -155,6 +155,9 @@ class MaintenanceReport:
     retired: List[str] = field(default_factory=list)
     deferred: List[str] = field(default_factory=list)
     widened: int = 0
+    #: Rule ids whose dependent interval widened this update (the rules
+    #: behind the ``widened`` count); consumed by the index patch path.
+    widened_ids: List[str] = field(default_factory=list)
     pairs_observed: int = 0
     pairs_skipped: int = 0
 
@@ -340,7 +343,7 @@ class IncrementalRuleMaintainer:
         self.rules = self._regenerate()
 
         old_by_id = {rule.rule_id: rule for rule in old_rules}
-        widened = 0
+        widened_ids: List[str] = []
         for rule in self.rules:
             previous = old_by_id.get(rule.rule_id)
             if previous is None:
@@ -348,7 +351,7 @@ class IncrementalRuleMaintainer:
             low, high = rule.dependent_interval
             prev_low, prev_high = previous.dependent_interval
             if low < prev_low - _EPS or high > prev_high + _EPS:
-                widened += 1
+                widened_ids.append(rule.rule_id)
         promoted = sorted(self.active_ids - previous_active)
 
         drift = self.drift
@@ -366,7 +369,8 @@ class IncrementalRuleMaintainer:
             promoted=promoted,
             retired=newly_retired,
             deferred=sorted(self.deferred_ids),
-            widened=widened,
+            widened=len(widened_ids),
+            widened_ids=widened_ids,
             pairs_observed=observed + group_observed_total,
             pairs_skipped=skipped,
         )

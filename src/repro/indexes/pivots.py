@@ -65,10 +65,32 @@ class PivotTable:
     schema: Schema
     pivots: Dict[str, List[str]]
     reports: Dict[str, PivotSelectionReport] = field(default_factory=dict)
+    #: Memo of ``pivot_distances``: the pivot values are immutable for the
+    #: lifetime of the table, so the distance of a constant to an attribute's
+    #: pivots can be computed once and reused by every CDD-index build and
+    #: patch (the same rule constants recur across installs).
+    _distance_cache: Dict[Tuple[str, str], Tuple[float, ...]] = field(
+        default_factory=dict, repr=False, compare=False)
 
     def main_pivot(self, attribute: str) -> str:
         """The main pivot value ``piv_1[A_x]``."""
         return self.pivots[attribute][0]
+
+    def pivot_distances(self, attribute: str, value: str) -> Tuple[float, ...]:
+        """Distances of ``value`` to all of ``attribute``'s pivots, memoised.
+
+        Element 0 is the main-pivot coordinate; the remainder are the
+        auxiliary-pivot distances.  The memo is keyed by ``(attribute,
+        value)`` and is sound because the pivot lists never change after
+        selection.
+        """
+        key = (attribute, value)
+        distances = self._distance_cache.get(key)
+        if distances is None:
+            distances = tuple(text_distance(value, pivot_value)
+                              for pivot_value in self.pivots[attribute])
+            self._distance_cache[key] = distances
+        return distances
 
     def auxiliary_pivots(self, attribute: str) -> List[str]:
         """Auxiliary pivot values ``piv_a[A_x]`` for ``a >= 2``."""

@@ -155,7 +155,10 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
         # Restore the maintainer's sufficient statistics and reinstall the
         # regenerated rules (indexes + imputer grouping) so a resumed stream
         # imputes exactly like the checkpointed one.  The context must hold
-        # the same extended repository the snapshot was taken over.
+        # the same extended repository the snapshot was taken over.  No
+        # maintenance report is passed: restore deliberately keeps the full
+        # rebuild path (there is no live index to diff against), though a
+        # value-identical rule set still short-circuits to a no-op install.
         ctx.install_rules(ctx.rule_maintainer.restore_state(maintainer_state))
 
     ctx.timestamps_processed = state.get("timestamps_processed", 0)

@@ -376,7 +376,9 @@ class MaintenanceStage:
         report = maintainer.absorb(ctx.repository, added,
                                    force_full=remine_rules)
         if report.rules_changed:
-            self.install_rules(report.rules)
+            # Threading the report lets the context patch the CDD-indexes
+            # in place from the diff; a re-mined report still rebuilds.
+            self.install_rules(report.rules, report=report)
         return report
 
     def absorb_complete_stream_tuples(self, records: Sequence[Record]) -> int:
@@ -399,6 +401,12 @@ class MaintenanceStage:
             self.absorb_repository_samples(complete)
         return len(complete)
 
-    def install_rules(self, rules: Sequence[CDDRule]) -> None:
-        """Swap a new rule set into the runtime (see ``RuntimeContext``)."""
-        self.ctx.install_rules(rules)
+    def install_rules(self, rules: Sequence[CDDRule],
+                      report: Optional[MaintenanceReport] = None) -> None:
+        """Swap a new rule set into the runtime (see ``RuntimeContext``).
+
+        ``report`` — when live incremental maintenance produced the rules —
+        lets the context patch the CDD-indexes in place from the diff;
+        report-less installs (explicit re-mine, restore) rebuild.
+        """
+        self.ctx.install_rules(rules, report=report)

@@ -1,0 +1,304 @@
+"""Differential tests for in-place CDD-index patching (``apply_diff``).
+
+The patch path must be *bit-identical* to a fresh rebuild: identical tree
+structures (hence ``nodes_visited``), identical candidate-rule order,
+identical aggregates and lattice intervals.  A hypothesis property drives
+random promote/retire/widen/reorder sequences through ``apply_diff`` and
+compares every observable against ``CDDIndex`` built from scratch on the
+same rule list.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuples import Record, Schema
+from repro.imputation.cdd import (
+    CONSTRAINT_CONSTANT,
+    CONSTRAINT_INTERVAL,
+    AttributeConstraint,
+    CDDRule,
+)
+from repro.imputation.repository import DataRepository
+from repro.indexes.cdd_index import CDDIndex
+from repro.indexes.pivots import PivotSelectionConfig, select_pivots
+
+DEPENDENT = "diagnosis"
+SCHEMA = Schema(attributes=("gender", "symptom", "diagnosis", "treatment"))
+
+_ROWS = [
+    ("male", "weight loss blurred vision", "diabetes", "drug therapy"),
+    ("male", "loss of weight thirst", "diabetes", "dietary therapy"),
+    ("female", "fever cough low spirit", "pneumonia", "antibiotics rest"),
+    ("male", "fever poor appetite cough", "flu", "drink more sleep more"),
+    ("female", "red eye itchy shed tears", "conjunctivitis", "eye drop"),
+    ("male", "blurred vision fatigue", "diabetes", "drug therapy"),
+    ("female", "cough congestion chills", "flu", "fluids rest"),
+]
+
+PIVOTS = select_pivots(
+    DataRepository(schema=SCHEMA, samples=[
+        Record(rid=f"s{index}",
+               values=dict(zip(SCHEMA.attributes, row)),
+               source="repository")
+        for index, row in enumerate(_ROWS)
+    ]),
+    PivotSelectionConfig(buckets=5, min_entropy=0.5, max_pivots=2),
+)
+
+
+def _record(gender, symptom, treatment):
+    return Record(rid="probe", source="stream",
+                  values={"gender": gender, "symptom": symptom,
+                          "diagnosis": None, "treatment": treatment})
+
+
+#: Probe records covering complete tuples and missing determinants.
+PROBES = [
+    _record("male", "weight loss blurred vision", "drug therapy"),
+    _record("female", "fever cough", "antibiotics rest"),
+    _record("male", None, "eye drop"),
+    _record(None, "blurred vision", None),
+]
+
+
+def make_rule_pool():
+    """A deterministic pool of promotable rules spanning four lattice groups."""
+    pool = []
+    bands = [(0.0, 0.3), (0.0, 0.5), (0.2, 0.7), (0.4, 0.9)]
+    for determinant in ("gender", "symptom", "treatment"):
+        for band_index, (low, high) in enumerate(bands):
+            pool.append(CDDRule(
+                determinants=(AttributeConstraint(
+                    determinant, CONSTRAINT_INTERVAL, interval=(low, high)),),
+                dependent=DEPENDENT,
+                dependent_interval=(round(0.05 * band_index, 2),
+                                    round(0.35 + 0.05 * band_index, 2)),
+                support=3 + band_index,
+                rule_id=f"pool:{determinant}:band{band_index}"))
+    constants = {"gender": ["male", "female"],
+                 "treatment": ["drug therapy", "eye drop", "antibiotics rest"]}
+    for determinant, values in constants.items():
+        for value_index, value in enumerate(values):
+            pool.append(CDDRule(
+                determinants=(AttributeConstraint(
+                    determinant, CONSTRAINT_CONSTANT, constant=value),),
+                dependent=DEPENDENT,
+                dependent_interval=(0.0, round(0.2 + 0.1 * value_index, 2)),
+                support=2 + value_index,
+                rule_id=f"pool:{determinant}={value}"))
+    for band_index, (low, high) in enumerate(bands[:2]):
+        pool.append(CDDRule(
+            determinants=(
+                AttributeConstraint("gender", CONSTRAINT_CONSTANT,
+                                    constant="male"),
+                AttributeConstraint("symptom", CONSTRAINT_INTERVAL,
+                                    interval=(low, high)),
+            ),
+            dependent=DEPENDENT,
+            dependent_interval=(0.1, round(0.5 + 0.1 * band_index, 2)),
+            support=4,
+            rule_id=f"pool:gender+symptom:{band_index}"))
+    return pool
+
+
+POOL = make_rule_pool()
+
+
+def widen(rule: CDDRule, amount: float = 0.1) -> CDDRule:
+    """A widened replacement: same rule id, larger interval, more support."""
+    low, high = rule.dependent_interval
+    return dataclasses.replace(
+        rule,
+        dependent_interval=(max(0.0, round(low - amount, 4)),
+                            min(1.0, round(high + amount, 4))),
+        support=rule.support + 1)
+
+
+def _tree_shape(tree):
+    """Full structural fingerprint of an aR-tree (rects, aggregates, order)."""
+    def node_shape(node):
+        if node.is_leaf:
+            return ("leaf", node.rect, node.aggregate,
+                    [(entry.rect, entry.payload.rule_id, entry.aggregate)
+                     for entry in node.entries])
+        return ("branch", node.rect, node.aggregate,
+                [node_shape(child) for child in node.children])
+    return node_shape(tree._root)
+
+
+def assert_bit_identical(patched: CDDIndex, fresh: CDDIndex):
+    """Patched index must be indistinguishable from a from-scratch build."""
+    assert patched.rules == fresh.rules
+    assert list(patched.lattice.keys()) == list(fresh.lattice.keys())
+    for key, fresh_node in fresh.lattice.items():
+        node = patched.lattice[key]
+        assert node.level == fresh_node.level
+        assert node.combined_interval == fresh_node.combined_interval
+        assert node.rules == fresh_node.rules
+    assert list(patched._trees.keys()) == list(fresh._trees.keys())
+    for key, fresh_tree in fresh._trees.items():
+        assert _tree_shape(patched._trees[key]) == _tree_shape(fresh_tree)
+    for record in PROBES:
+        got = patched.candidate_rules(record)
+        got_visited = patched.nodes_visited
+        want = fresh.candidate_rules(record)
+        want_visited = fresh.nodes_visited
+        assert got == want
+        assert got_visited == want_visited
+
+
+def fresh_index(rules, max_entries=8):
+    return CDDIndex(dependent=DEPENDENT, rules=rules, schema=SCHEMA,
+                    pivots=PIVOTS, max_entries=max_entries)
+
+
+class TestApplyDiffDeterministic:
+    def test_widen_only_patches_in_place(self):
+        rules = POOL[:8]
+        index = fresh_index(rules)
+        new_rules = [widen(rule) if i % 2 == 0 else rule
+                     for i, rule in enumerate(rules)]
+        stats = index.apply_diff(promoted=[], retired=[],
+                                 widened=[r for i, r in enumerate(new_rules)
+                                          if i % 2 == 0],
+                                 rules=new_rules)
+        assert stats.groups_replayed == 0
+        assert stats.groups_patched >= 1
+        assert stats.entries_updated == 4
+        assert_bit_identical(index, fresh_index(new_rules))
+
+    def test_retire_from_single_leaf_uses_remove(self):
+        rules = [r for r in POOL if r.determinant_attributes == ("gender",)]
+        index = fresh_index(rules)
+        survivors = [r for r in rules if r.rule_id != rules[2].rule_id]
+        stats = index.apply_diff(promoted=[], retired=[rules[2].rule_id],
+                                 widened=[], rules=survivors)
+        assert stats.entries_removed == 1
+        assert stats.groups_replayed == 0
+        assert_bit_identical(index, fresh_index(survivors))
+
+    def test_promote_new_group_creates_lattice_node_and_tree(self):
+        singles = [r for r in POOL if len(r.determinant_attributes) == 1]
+        combined = [r for r in POOL if len(r.determinant_attributes) == 2]
+        index = fresh_index(singles)
+        assert ("gender", "symptom") not in index._trees
+        new_rules = singles + combined
+        stats = index.apply_diff(promoted=combined, retired=[], widened=[],
+                                 rules=new_rules)
+        assert stats.groups_added == 1
+        assert ("gender", "symptom") in index._trees
+        assert_bit_identical(index, fresh_index(new_rules))
+
+    def test_retiring_whole_group_drops_tree_and_node(self):
+        index = fresh_index(POOL)
+        survivors = [r for r in POOL
+                     if r.determinant_attributes != ("treatment",)]
+        stats = index.apply_diff(
+            promoted=[], widened=[],
+            retired=[r.rule_id for r in POOL
+                     if r.determinant_attributes == ("treatment",)],
+            rules=survivors)
+        assert stats.groups_removed == 1
+        assert ("treatment",) not in index._trees
+        assert ("treatment",) not in index.lattice
+        assert_bit_identical(index, fresh_index(survivors))
+
+    def test_untouched_groups_keep_their_tree_objects(self):
+        index = fresh_index(POOL)
+        symptom_tree = index._trees[("symptom",)]
+        new_rules = [widen(r) if r.determinant_attributes == ("gender",)
+                     else r for r in POOL]
+        stats = index.apply_diff(
+            promoted=[], retired=[],
+            widened=[r for r in new_rules
+                     if r.determinant_attributes == ("gender",)],
+            rules=new_rules)
+        assert stats.groups_untouched >= 2
+        assert index._trees[("symptom",)] is symptom_tree
+        assert_bit_identical(index, fresh_index(new_rules))
+
+    def test_deep_tree_membership_change_replays_group(self):
+        # max_entries=2 forces multi-level trees, where membership changes
+        # cannot be patched in place and must replay the group.
+        rules = POOL[:12]
+        index = fresh_index(rules, max_entries=2)
+        survivors = rules[:3] + rules[4:]
+        stats = index.apply_diff(promoted=[], retired=[rules[3].rule_id],
+                                 widened=[], rules=survivors)
+        assert stats.groups_replayed >= 1
+        assert_bit_identical(index, fresh_index(survivors, max_entries=2))
+
+    def test_diff_to_empty_rule_set(self):
+        index = fresh_index(POOL[:6])
+        index.apply_diff(promoted=[],
+                         retired=[r.rule_id for r in POOL[:6]],
+                         widened=[], rules=[])
+        assert index.rules == []
+        assert index._trees == {} and index.lattice == {}
+        assert_bit_identical(index, fresh_index([]))
+
+    def test_pivot_distance_memo_is_shared_and_stable(self):
+        PIVOTS._distance_cache.clear()
+        first = fresh_index(POOL)
+        assert PIVOTS._distance_cache, "constant coordinates were not memoised"
+        cached = dict(PIVOTS._distance_cache)
+        second = fresh_index(POOL)
+        assert PIVOTS._distance_cache == cached  # pure hits, no new entries
+        for key in first._trees:
+            assert _tree_shape(first._trees[key]) == _tree_shape(second._trees[key])
+
+
+class TestApplyDiffProperty:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_diff_sequences_match_fresh_rebuild(self, data):
+        max_entries = data.draw(st.sampled_from([2, 8]), label="max_entries")
+        start_ids = data.draw(st.sets(st.sampled_from(range(len(POOL))),
+                                      min_size=2, max_size=len(POOL)),
+                              label="start")
+        current = [POOL[i] for i in sorted(start_ids)]
+        index = fresh_index(current, max_entries=max_entries)
+        steps = data.draw(st.integers(min_value=1, max_value=4), label="steps")
+        for _ in range(steps):
+            survivors = list(current)
+            # retire a few
+            retired = []
+            if survivors and data.draw(st.booleans(), label="retire?"):
+                count = data.draw(st.integers(0, len(survivors) - 1),
+                                  label="retire-count")
+                for victim in data.draw(
+                        st.permutations(range(len(survivors))),
+                        label="retire-order")[:count]:
+                    retired.append(survivors[victim].rule_id)
+                survivors = [r for r in survivors
+                             if r.rule_id not in set(retired)]
+            # widen a few survivors in place
+            widened = []
+            for position in range(len(survivors)):
+                if data.draw(st.booleans(), label="widen?"):
+                    survivors[position] = widen(survivors[position])
+                    widened.append(survivors[position])
+            # promote unused pool rules at random positions
+            current_ids = {r.rule_id for r in survivors}
+            available = [r for r in POOL if r.rule_id not in current_ids]
+            promoted = []
+            if available and data.draw(st.booleans(), label="promote?"):
+                count = data.draw(st.integers(1, len(available)),
+                                  label="promote-count")
+                for rule in available[:count]:
+                    position = data.draw(st.integers(0, len(survivors)),
+                                         label="promote-at")
+                    survivors.insert(position, rule)
+                    promoted.append(rule)
+            # occasionally reorder the whole list (constant re-ranking in the
+            # maintainer reorders emissions without changing membership)
+            if data.draw(st.booleans(), label="reorder?"):
+                survivors = data.draw(st.permutations(survivors),
+                                      label="reorder")
+            current = list(survivors)
+            index.apply_diff(promoted=promoted, retired=retired,
+                             widened=widened, rules=current)
+            assert_bit_identical(index,
+                                 fresh_index(current, max_entries=max_entries))

@@ -1,0 +1,164 @@
+"""Incremental maintenance of the DD baseline rule set.
+
+:class:`IncrementalDDMaintainer` delegates to the CDD sketch machinery over
+the DD-translated configuration (interval bands only, no constant groups,
+no combined determinants).  These tests pin the delegation: initialization
+and every absorbed batch must regenerate exactly the rules a from-scratch
+:func:`discover_dd_rules` mine would produce, the checkpoint state must
+round-trip, and the DD-level knobs must validate like the CDD ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from golden_utils import GOLDEN_WORKLOADS, build_workload
+from repro.experiments.harness import split_repository
+from repro.imputation.cdd import (
+    CONSTRAINT_INTERVAL,
+    MAINTENANCE_HYBRID,
+    MAINTENANCE_INCREMENTAL,
+    RuleError,
+)
+from repro.imputation.dd import (
+    DDDiscoveryConfig,
+    DDMaintenanceReport,
+    DDRule,
+    IncrementalDDMaintainer,
+    discover_dd_rules,
+)
+from repro.imputation.repository import DataRepository
+
+INCREMENTAL_DD_CONFIG = DDDiscoveryConfig(
+    maintenance_mode=MAINTENANCE_INCREMENTAL)
+
+
+def _signature(rules):
+    return [(rule.rule.rule_id, rule.dependent_interval, rule.support)
+            for rule in rules]
+
+
+def _chunks(items, size):
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+# ---------------------------------------------------------------------------
+# Config passthrough and validation
+# ---------------------------------------------------------------------------
+class TestDDMaintenanceConfig:
+    def test_maintenance_knobs_reach_the_shared_config(self):
+        config = DDDiscoveryConfig(maintenance_mode=MAINTENANCE_HYBRID,
+                                   min_confidence=0.7,
+                                   drift_threshold=0.2,
+                                   pending_pool_size=9,
+                                   max_update_pairs=123,
+                                   max_group_pairs_per_sample=7)
+        cdd = config.as_cdd_config()
+        assert cdd.maintenance_mode == MAINTENANCE_HYBRID
+        assert cdd.min_confidence == 0.7
+        assert cdd.drift_threshold == 0.2
+        assert cdd.pending_pool_size == 9
+        assert cdd.max_update_pairs == 123
+        assert cdd.max_group_pairs_per_sample == 7
+        # The DD translation itself is unchanged by the maintenance knobs.
+        assert cdd.max_constant_conditions == 0
+        assert cdd.combine_determinants is False
+
+    @pytest.mark.parametrize("field,value", [
+        ("maintenance_mode", "sometimes"),
+        ("min_confidence", 0.0),
+        ("drift_threshold", 0.0),
+        ("pending_pool_size", 0),
+        ("max_update_pairs", 0),
+        ("max_group_pairs_per_sample", 0),
+    ])
+    def test_invalid_knobs_rejected_at_construction(self, field, value):
+        with pytest.raises(RuleError):
+            DDDiscoveryConfig(**{field: value})
+
+
+# ---------------------------------------------------------------------------
+# Exactness: initialize == full DD mine; absorb == full DD re-mine
+# ---------------------------------------------------------------------------
+class TestDDMaintainerExactness:
+    def test_initialize_matches_full_miner_on_health(self, health_repository):
+        full = discover_dd_rules(health_repository, INCREMENTAL_DD_CONFIG)
+        maintainer = IncrementalDDMaintainer(INCREMENTAL_DD_CONFIG,
+                                             health_repository.schema)
+        assert (_signature(maintainer.initialize(health_repository))
+                == _signature(full))
+
+    def test_streamed_updates_match_full_remine(self):
+        dataset, scale, seed, _ = GOLDEN_WORKLOADS[0]
+        workload = build_workload(dataset, scale, seed)
+        base, holdout = split_repository(workload.repository, 0.3)
+        repository = DataRepository(schema=workload.schema,
+                                    samples=list(base.samples))
+        maintainer = IncrementalDDMaintainer(INCREMENTAL_DD_CONFIG,
+                                             workload.schema)
+        maintainer.initialize(repository)
+        batches = 0
+        for batch in _chunks(holdout, 3):
+            repository.extend(batch)
+            report = maintainer.absorb(repository, batch)
+            assert isinstance(report, DDMaintenanceReport)
+            assert not report.remined
+            full = discover_dd_rules(repository, INCREMENTAL_DD_CONFIG)
+            assert _signature(report.rules) == _signature(full)
+            assert _signature(maintainer.rules) == _signature(full)
+            batches += 1
+        assert batches > 1
+
+    def test_emitted_rules_are_interval_only_dds(self, health_repository):
+        maintainer = IncrementalDDMaintainer(INCREMENTAL_DD_CONFIG,
+                                             health_repository.schema)
+        rules = maintainer.initialize(health_repository)
+        assert rules
+        for rule in rules:
+            assert isinstance(rule, DDRule)
+            assert len(rule.determinants) == 1
+            for constraint in rule.determinants:
+                assert constraint.kind == CONSTRAINT_INTERVAL
+
+    def test_forced_full_remine_reports_remined(self, health_repository):
+        maintainer = IncrementalDDMaintainer(INCREMENTAL_DD_CONFIG,
+                                             health_repository.schema)
+        maintainer.initialize(health_repository)
+        report = maintainer.absorb(health_repository, [], force_full=True)
+        assert report.remined
+        assert (_signature(report.rules)
+                == _signature(discover_dd_rules(health_repository,
+                                                INCREMENTAL_DD_CONFIG)))
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing the sketches
+# ---------------------------------------------------------------------------
+class TestDDMaintainerState:
+    def test_state_round_trip_restores_rules_and_sketches(self):
+        dataset, scale, seed, _ = GOLDEN_WORKLOADS[0]
+        workload = build_workload(dataset, scale, seed)
+        base, holdout = split_repository(workload.repository, 0.3)
+        repository = DataRepository(schema=workload.schema,
+                                    samples=list(base.samples))
+        maintainer = IncrementalDDMaintainer(INCREMENTAL_DD_CONFIG,
+                                             workload.schema)
+        maintainer.initialize(repository)
+        cut = len(holdout) // 2
+        repository.extend(holdout[:cut])
+        maintainer.absorb(repository, holdout[:cut])
+
+        state = maintainer.state_to_dict()
+        resumed = IncrementalDDMaintainer(INCREMENTAL_DD_CONFIG,
+                                          workload.schema)
+        restored_rules = resumed.restore_state(state)
+        assert _signature(restored_rules) == _signature(maintainer.rules)
+
+        # The restored sketches keep absorbing exactly like the original.
+        repository.extend(holdout[cut:])
+        original = maintainer.absorb(repository, holdout[cut:])
+        replayed = resumed.absorb(repository, holdout[cut:])
+        assert _signature(original.rules) == _signature(replayed.rules)
+        assert original.widened_ids == replayed.widened_ids
+        assert maintainer.drift == resumed.drift

@@ -517,3 +517,133 @@ def _health_sample(rid):
                   values={"gender": "female", "symptom": "thirst fatigue",
                           "diagnosis": "diabetes", "treatment": "insulin"},
                   source="repository")
+
+
+# ---------------------------------------------------------------------------
+# Rule installation paths: no-op skip, in-place patch, rebuild
+# ---------------------------------------------------------------------------
+class TestInstallPaths:
+    def test_noop_install_short_circuits(self, health_repository,
+                                         health_config):
+        engine = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              discovery_config=INCREMENTAL_CONFIG)
+        ctx = engine.ctx
+        indexes_before = ctx.cdd_indexes
+        ctx.install_rules(list(ctx.rules))
+        assert ctx.installs_skipped == 1
+        assert ctx.installs_patched == 0 and ctx.installs_rebuilt == 0
+        # The indexes were not touched, let alone rebuilt.
+        assert ctx.cdd_indexes is indexes_before
+
+    def test_live_maintenance_patches_in_place(self, health_repository,
+                                               health_config):
+        engine = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              discovery_config=INCREMENTAL_CONFIG)
+        ctx = engine.ctx
+        engine.add_repository_samples([_health_sample("new0"),
+                                       _health_sample("new1")])
+        assert ctx.installs_patched == 1
+        assert ctx.installs_rebuilt == 0
+        assert ctx.last_patch_stats is not None
+        touched = (ctx.last_patch_stats["groups_patched"]
+                   + ctx.last_patch_stats["groups_replayed"]
+                   + ctx.last_patch_stats["groups_added"])
+        assert touched >= 1
+
+    def test_patch_knob_off_rebuilds(self, health_repository, health_config):
+        import dataclasses as _dataclasses
+        config = _dataclasses.replace(health_config, patch_cdd_indexes=False)
+        engine = TERiDSEngine(repository=health_repository, config=config,
+                              discovery_config=INCREMENTAL_CONFIG)
+        ctx = engine.ctx
+        engine.add_repository_samples([_health_sample("new0"),
+                                       _health_sample("new1")])
+        assert ctx.installs_rebuilt == 1
+        assert ctx.installs_patched == 0
+
+    def test_remine_keeps_rebuild_path(self, health_repository,
+                                       health_config):
+        engine = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              discovery_config=INCREMENTAL_CONFIG)
+        ctx = engine.ctx
+        report = engine.add_repository_samples([_health_sample("new0")],
+                                               remine_rules=True)
+        assert report.remined
+        assert ctx.installs_rebuilt + ctx.installs_skipped >= 1
+        assert ctx.installs_patched == 0
+
+    def test_restore_keeps_rebuild_path(self, tmp_path, health_repository,
+                                        health_config):
+        source = TERiDSEngine(repository=health_repository,
+                              config=health_config,
+                              discovery_config=INCREMENTAL_CONFIG)
+        source.add_repository_samples([_health_sample("new0"),
+                                       _health_sample("new1")])
+        path = tmp_path / "install.ckpt.json"
+        source.save_checkpoint(path)
+        snapshot = repository_to_dict(source.repository)
+        resumed = TERiDSEngine(repository=repository_from_dict(snapshot),
+                               config=health_config,
+                               discovery_config=INCREMENTAL_CONFIG)
+        resumed.load_checkpoint(path)
+        # Restore never patches: it either rebuilds or no-op-skips.
+        assert resumed.ctx.installs_patched == 0
+        assert resumed.ctx.installs_rebuilt + resumed.ctx.installs_skipped >= 1
+        assert (_rule_signature(resumed.rules)
+                == _rule_signature(source.rules))
+
+    def test_patched_engine_streams_identically_to_rebuilt_engine(self):
+        """End-to-end differential: patch path vs rebuild path, bit-equal.
+
+        The same evolving-repository stream is driven through an engine
+        with in-place index patching (default) and one with the knob off
+        (every install rebuilds).  Matches, rules, imputation stats and the
+        per-record candidate sets + nodes_visited of every final index must
+        coincide exactly.
+        """
+        import dataclasses as _dataclasses
+        dataset, scale, seed, window = EVOLVING_WORKLOAD
+        workload = build_workload(dataset, scale, seed)
+        config = build_config(workload, window)
+        base, holdout = split_repository(workload.repository, 0.3)
+        records = workload.interleaved_records()
+
+        def run(engine_config):
+            engine = TERiDSEngine(
+                repository=DataRepository(schema=workload.schema,
+                                          samples=list(base.samples)),
+                config=engine_config,
+                discovery_config=evolving_discovery_config())
+            matches = run_evolving_stream(engine, records, holdout,
+                                          phases=EVOLVING_PHASES)
+            return engine, matches
+
+        patched_engine, patched_matches = run(config)
+        rebuilt_engine, rebuilt_matches = run(
+            _dataclasses.replace(config, patch_cdd_indexes=False))
+
+        assert patched_engine.ctx.installs_patched > 0
+        assert patched_engine.ctx.installs_rebuilt == 0
+        assert rebuilt_engine.ctx.installs_patched == 0
+        assert rebuilt_engine.ctx.installs_rebuilt > 0
+
+        assert canonical_matches(patched_matches) == canonical_matches(
+            rebuilt_matches)
+        assert patched_engine.rules == rebuilt_engine.rules
+        assert (patched_engine.imputer.stats.as_dict()
+                == rebuilt_engine.imputer.stats.as_dict())
+        assert (list(patched_engine.cdd_indexes)
+                == list(rebuilt_engine.cdd_indexes))
+        incomplete = [record for record in records
+                      if record.missing_attributes(workload.schema)]
+        assert incomplete
+        for record in incomplete:
+            for attribute, patched_index in patched_engine.cdd_indexes.items():
+                rebuilt_index = rebuilt_engine.cdd_indexes[attribute]
+                assert (patched_index.candidate_rules(record)
+                        == rebuilt_index.candidate_rules(record))
+                assert (patched_index.nodes_visited
+                        == rebuilt_index.nodes_visited)
