@@ -47,23 +47,26 @@ def build_sources(records, n_sources):
     return sources
 
 
-def run_configuration(workload, n_sources, window_size):
+def run_configuration(workload, n_sources, window_size, telemetry=False):
     config = TERiDSConfig(schema=workload.schema, keywords=workload.keywords,
                           window_size=window_size)
     engine = TERiDSEngine(repository=workload.repository, config=config,
                           executor=MicroBatchExecutor(batch_size=32))
+    if telemetry:
+        engine.enable_telemetry()
     records = workload.interleaved_records()
     driver = IngestDriver(engine, build_sources(records, n_sources),
                           policy=BATCH_POLICY,
                           queue_capacity=QUEUE_CAPACITY)
     report = driver.run()
+    snapshot = engine.metrics_snapshot() if telemetry else None
     engine.close()
     stats = report.stats
     depths = list(stats.queue_depths) or [0]
     half = max(1, len(depths) // 2)
     first_half = sum(depths[:half]) / half
     second_half = sum(depths[half:]) / max(1, len(depths) - half)
-    return {
+    row = {
         "sources": n_sources,
         "tuples": report.tuples_processed,
         "batches": report.batches_processed,
@@ -79,20 +82,35 @@ def run_configuration(workload, n_sources, window_size):
         "backpressure_waits": stats.backpressure_waits,
         "triggers": dict(sorted(stats.triggers.items())),
     }
+    return row, snapshot
 
 
 def main() -> None:
     parser = bench_argument_parser(
         "Async ingestion throughput / batch-formation latency benchmark")
+    parser.add_argument(
+        "--metrics-snapshot", nargs="?", const="metrics_snapshot.json",
+        default=None, metavar="PATH",
+        help="enable the telemetry plane on the multi-source run and write "
+             "its full metrics snapshot as JSON (default: "
+             "metrics_snapshot.json)")
     args = parser.parse_args()
     scale = 0.4 if args.smoke else 1.0
     window = 30 if args.smoke else 40
 
     results = []
+    snapshot = None
     for n_sources in (1, 4):
         workload = generate_dataset("citations", missing_rate=0.3,
                                     scale=scale, seed=BENCH_SEED)
-        row = run_configuration(workload, n_sources, window)
+        # The telemetry-enabled snapshot comes off the multi-source run —
+        # it exercises the full ingest surface (watermark reordering,
+        # per-source lateness, queue churn) the snapshot is meant to show.
+        telemetry = args.metrics_snapshot is not None and n_sources == 4
+        row, run_snapshot = run_configuration(workload, n_sources, window,
+                                              telemetry=telemetry)
+        if run_snapshot is not None:
+            snapshot = run_snapshot
         results.append(row)
         print(f"{n_sources} source(s): {row['tuples']} tuples in "
               f"{row['seconds']}s -> {row['tuples_per_second']} tuples/s, "
@@ -111,6 +129,14 @@ def main() -> None:
         <= max(row["mean_queue_depth_first_half"], 8.0)
         for row in results)
     print(f"queue bounded across the run: {queue_bounded}")
+
+    if snapshot is not None:
+        import json
+        from pathlib import Path
+        target = Path(args.metrics_snapshot)
+        target.write_text(json.dumps(snapshot, indent=2, sort_keys=True)
+                          + "\n")
+        print(f"wrote {target}")
 
     if args.json is not None:
         write_bench_json("ingest_throughput", {

@@ -304,6 +304,44 @@ class TERiDSEngine:
         return self.resolver.resolve(rid, source, topic=topic, gamma=gamma)
 
     # ------------------------------------------------------------------
+    # telemetry (see repro.obs)
+    # ------------------------------------------------------------------
+    def enable_telemetry(self, registry=None, trace_ring: int = 16,
+                         profile_slowest: int = 0):
+        """Turn the telemetry plane on: metrics registry, per-batch span
+        traces and (``profile_slowest > 0``) cProfile capture of the N
+        slowest batches.  Returns the :class:`~repro.obs.telemetry.Telemetry`
+        instance.  Telemetry only measures wall clock — match sets, pruning
+        counters and candidate order are bit-identical either way.
+        """
+        return self.ctx.enable_telemetry(registry=registry,
+                                         trace_ring=trace_ring,
+                                         profile_slowest=profile_slowest)
+
+    def disable_telemetry(self) -> None:
+        """Swap the no-op telemetry plane back in."""
+        self.ctx.disable_telemetry()
+
+    def metrics_snapshot(self) -> Dict:
+        """JSON-safe snapshot of every measured signal (see
+        :meth:`~repro.runtime.context.RuntimeContext.metrics_snapshot`)."""
+        return self.ctx.metrics_snapshot()
+
+    def render_metrics(self) -> str:
+        """The metrics registry in Prometheus text-exposition format.
+
+        Requires :meth:`enable_telemetry` first (the disabled plane has no
+        registry to render).
+        """
+        from repro.obs.exporters import render_prometheus
+
+        telemetry = self.ctx.telemetry
+        if not getattr(telemetry, "enabled", False):
+            raise RuntimeError("telemetry is disabled; call "
+                               "enable_telemetry() before render_metrics()")
+        return render_prometheus(telemetry.registry)
+
+    # ------------------------------------------------------------------
     # checkpoint / restore
     # ------------------------------------------------------------------
     def checkpoint(self) -> Dict:

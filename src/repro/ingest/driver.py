@@ -32,6 +32,7 @@ the snapshot's ``ingest.tuples_admitted`` gives the offset for a replay
 from __future__ import annotations
 
 import asyncio
+import logging
 import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
@@ -50,6 +51,8 @@ from repro.ingest.sources import Source, StreamElement
 from repro.persistence import record_from_dict, record_to_dict, save_checkpoint
 from repro.runtime.checkpoint import engine_state_to_dict
 from repro.runtime.context import IngestStats
+
+logger = logging.getLogger(__name__)
 
 #: Arrival-queue message kinds.
 _ITEM = 0
@@ -529,6 +532,12 @@ class IngestDriver:
     def _write_due_checkpoint(self) -> None:
         if self._checkpoint_due and self.checkpoint_path is not None:
             save_checkpoint(self.checkpoint(), self.checkpoint_path)
+            ctx = self.engine.ctx
+            logger.info(
+                "periodic checkpoint: batch_seq=%d trace_id=%s batches=%d "
+                "tuples=%d path=%s", ctx.batch_seq, ctx.last_trace_id,
+                self.batches_processed, self.tuples_processed,
+                self.checkpoint_path)
         self._checkpoint_due = False
 
     def _expire_by_watermark(self, batch: List[StreamElement]) -> None:

@@ -65,6 +65,12 @@ def engine_state_to_dict(ctx: RuntimeContext) -> Dict:
         # live window (the engine drops them on restore), so only the
         # accounting crosses a checkpoint.
         "query_stats": ctx.query.as_dict(),
+        # Telemetry correlation metadata: the monotonic batch sequence and
+        # the last trace id let a restored run's traces be lined up with
+        # its pre-checkpoint history.  The metrics/traces themselves are
+        # process-local scratch and are not persisted.
+        "telemetry": {"batch_seq": ctx.batch_seq,
+                      "trace_id": ctx.last_trace_id},
     }
     if ctx.rule_maintainer is not None:
         # Incremental rule maintenance (Section 5.5): unlike the other
@@ -160,5 +166,9 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
         # rebuild path (there is no live index to diff against), though a
         # value-identical rule set still short-circuits to a no-op install.
         ctx.install_rules(ctx.rule_maintainer.restore_state(maintainer_state))
+
+    telemetry_meta = state.get("telemetry", {})
+    ctx.batch_seq = telemetry_meta.get("batch_seq", 0)
+    ctx.last_trace_id = telemetry_meta.get("trace_id")
 
     ctx.timestamps_processed = state.get("timestamps_processed", 0)

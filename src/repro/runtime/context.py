@@ -34,6 +34,8 @@ from repro.indexes.dr_index import DRIndex
 from repro.indexes.er_grid import ERGrid
 from repro.indexes.pivots import PivotTable
 from repro.metrics.timing import StageTimer
+from repro.obs.registry import HistogramValue
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -193,21 +195,30 @@ class IngestStats:
     #: Batch-formation trigger counts (``size`` / ``deadline`` /
     #: ``watermark`` / ``drain``).
     triggers: Dict[str, int] = field(default_factory=dict)
-    #: Per-batch formation latency (seconds from first enqueue to emit)
-    #: and arrival-queue depth sampled at emit time.  Bounded to the most
-    #: recent ``INGEST_SERIES_WINDOW`` batches so an indefinitely running
-    #: driver does not accrue unbounded memory; the scalar counters above
-    #: remain lifetime totals.
-    formation_latencies: Deque[float] = field(
-        default_factory=lambda: deque(maxlen=INGEST_SERIES_WINDOW))
+    #: Per-batch formation latency (seconds from first enqueue to emit) as
+    #: a full histogram — exponential buckets plus a sample ring bounded to
+    #: the most recent ``INGEST_SERIES_WINDOW`` batches, serving exact
+    #: p50/p95/p99 quantiles — and arrival-queue depth sampled at emit
+    #: time.  Bounded so an indefinitely running driver does not accrue
+    #: unbounded memory; the scalar counters above remain lifetime totals.
+    formation: HistogramValue = field(
+        default_factory=lambda: HistogramValue(
+            sample_window=INGEST_SERIES_WINDOW,
+            quantiles=(0.5, 0.95, 0.99)))
     queue_depths: Deque[int] = field(
         default_factory=lambda: deque(maxlen=INGEST_SERIES_WINDOW))
+
+    @property
+    def formation_latencies(self) -> Deque[float]:
+        """The retained formation-latency samples (compatibility view of
+        the histogram's sample ring)."""
+        return self.formation.samples
 
     def record_batch(self, size: int, latency: float, queue_depth: int,
                      trigger: str) -> None:
         self.batches_formed += 1
         self.tuples_ingested += size
-        self.formation_latencies.append(latency)
+        self.formation.observe(latency)
         self.queue_depths.append(queue_depth)
         self.max_queue_depth = max(self.max_queue_depth, queue_depth)
         self.triggers[trigger] = self.triggers.get(trigger, 0) + 1
@@ -215,10 +226,7 @@ class IngestStats:
     def p95_formation_latency(self) -> float:
         """95th-percentile batch-formation latency in seconds (0 when
         empty), over the retained window of recent batches."""
-        if not self.formation_latencies:
-            return 0.0
-        ordered = sorted(self.formation_latencies)
-        return ordered[int(0.95 * (len(ordered) - 1))]
+        return self.formation.quantile(0.95)
 
     _SCALARS = ("tuples_ingested", "batches_formed", "reordered",
                 "force_released", "admitted_late", "shed_late",
@@ -235,7 +243,7 @@ class IngestStats:
         for name in self._SCALARS:
             setattr(self, name, state.get(name, 0))
         self.triggers = dict(state.get("triggers", {}))
-        self.formation_latencies.clear()
+        self.formation.reset()
         self.queue_depths.clear()
 
     def reset(self) -> None:
@@ -283,6 +291,19 @@ class RuntimeContext:
     #: Aggregated per-group outcome of the most recent patched install
     #: (``CDDPatchStats.as_dict()``); ``None`` until a patch happens.
     last_patch_stats: Optional[Dict[str, int]] = None
+    #: The telemetry plane (see :mod:`repro.obs`): :data:`NULL_TELEMETRY`
+    #: until :meth:`enable_telemetry` swaps in a live recorder.  Not a
+    #: typed field on purpose — the null object and the live plane share
+    #: only the recording protocol.
+    telemetry: object = field(default=NULL_TELEMETRY, repr=False)
+    #: Monotonic batch sequence number.  Advances on every executor batch
+    #: regardless of telemetry state, rides in checkpoint metadata, and
+    #: seeds the per-batch trace ids — so a restored run's traces correlate
+    #: with its pre-checkpoint history instead of restarting at zero.
+    batch_seq: int = 0
+    #: Trace id of the most recently started batch (``None`` while
+    #: telemetry has never been enabled).
+    last_trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.pruning is None:
@@ -389,3 +410,77 @@ class RuntimeContext:
         for synopsis in grid.synopses():
             grid.remove(synopsis.rid, synopsis.source)
         self.timestamps_processed = 0
+
+    # -- telemetry -----------------------------------------------------------
+    def begin_batch(self, size: int):
+        """Advance ``batch_seq`` and open this batch's telemetry scope.
+
+        Executors wrap each batch in ``with ctx.begin_batch(len(records)):``.
+        The sequence number always advances (it is checkpoint metadata,
+        not telemetry); with telemetry disabled the returned scope is the
+        shared no-op context manager, so the disabled path allocates
+        nothing.
+        """
+        self.batch_seq += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            scope = telemetry.begin_batch(self.batch_seq, size)
+            self.last_trace_id = telemetry.current_trace.trace_id
+            return scope
+        from repro.obs.telemetry import NULL_SCOPE
+        return NULL_SCOPE
+
+    def enable_telemetry(self, registry=None, trace_ring: int = 16,
+                         profile_slowest: int = 0):
+        """Swap the live telemetry plane in (idempotent-ish: re-enabling
+        builds a fresh plane) and bind every stat object onto its registry.
+
+        Returns the :class:`~repro.obs.telemetry.Telemetry` instance so
+        callers can reach the registry/tracer/profiler directly.
+        """
+        from repro.obs.telemetry import Telemetry, bind_context_metrics
+
+        telemetry = Telemetry(registry=registry, trace_ring=trace_ring,
+                              profile_slowest=profile_slowest)
+        bind_context_metrics(telemetry.registry, self)
+        self.telemetry = telemetry
+        return telemetry
+
+    def disable_telemetry(self) -> None:
+        """Back to the null plane (recorded traces/metrics are dropped)."""
+        self.telemetry = NULL_TELEMETRY
+
+    def metrics_snapshot(self) -> Dict:
+        """JSON-safe snapshot of every measured signal of this context.
+
+        Always available — stats, timers and sequencing come straight off
+        the context — and enriched with the registry/traces/profiles when
+        the telemetry plane is enabled.
+        """
+        from repro.obs.telemetry import IMPUTATION_FIELDS, PRUNING_FIELDS
+
+        snapshot: Dict = {
+            "batch_seq": self.batch_seq,
+            "last_trace_id": self.last_trace_id,
+            "timestamps_processed": self.timestamps_processed,
+            "matches": len(self.result_set),
+            "pruning": {name: getattr(self.pruning.stats, name)
+                        for name, _ in PRUNING_FIELDS},
+            "imputation": {name: getattr(self.imputer.stats, name)
+                           for name in IMPUTATION_FIELDS},
+            "ingest": self.ingest.as_dict(),
+            "transport": self.transport.as_dict(),
+            "query": self.query.as_dict(),
+            "grid": {"cells_examined": self.grid.cells_examined,
+                     "tuples_examined": self.grid.tuples_examined},
+            "rule_installs": {"skipped": self.installs_skipped,
+                              "patched": self.installs_patched,
+                              "rebuilt": self.installs_rebuilt},
+            "stage_seconds": dict(self.timer.totals),
+            "stage_counts": dict(self.timer.counts),
+            "telemetry_enabled": bool(self.telemetry.enabled),
+        }
+        detail = self.telemetry.snapshot()
+        if detail is not None:
+            snapshot.update(detail)
+        return snapshot

@@ -89,7 +89,8 @@ class SerialExecutor(Executor):
 
     def process_batch(self, pipeline: Pipeline,
                       records: Sequence[Record]) -> List[List[MatchPair]]:
-        return [pipeline.process_one(record) for record in records]
+        with pipeline.ctx.begin_batch(len(records)):
+            return [pipeline.process_one(record) for record in records]
 
 
 #: Result-set replay events recorded by the micro-batch executor.
@@ -412,7 +413,13 @@ class MicroBatchExecutor(Executor):
     # -- scheduling ----------------------------------------------------------
     def process_batch(self, pipeline: Pipeline,
                       records: Sequence[Record]) -> List[List[MatchPair]]:
+        with pipeline.ctx.begin_batch(len(records)):
+            return self._process_batch(pipeline, records)
+
+    def _process_batch(self, pipeline: Pipeline,
+                       records: Sequence[Record]) -> List[List[MatchPair]]:
         ctx = pipeline.ctx
+        tel = ctx.telemetry
         if ctx.imputer.candidate_cache is None:
             # Cross-record memoisation of cand(s[A_j]) — see CDDImputer.
             ctx.imputer.candidate_cache = {}
@@ -430,55 +437,59 @@ class MicroBatchExecutor(Executor):
         tasks = [TupleTask(record=record) for record in records]
 
         # Phase 1: order-free stages over the whole batch.
-        with ctx.timer.measure(STAGE_CDD_SELECTION):
+        with ctx.timer.measure(STAGE_CDD_SELECTION), tel.span("rule_selection"):
             pipeline.rule_selection.run(tasks)
-        with ctx.timer.measure(STAGE_IMPUTATION):
+        with ctx.timer.measure(STAGE_IMPUTATION), tel.span("imputation"):
             pipeline.imputation.run(tasks)
             pipeline.synopsis.run(tasks, packed=self.vectorized and not pooled)
 
         if sharded:
-            with ctx.timer.measure(STAGE_ER):
+            with ctx.timer.measure(STAGE_ER), tel.span("entity_resolution"):
                 if self.shm_plane:
                     self._process_batch_shm(pipeline, tasks)
                 else:
                     self._process_batch_sharded(pipeline, tasks)
             return [task.matches for task in tasks]
 
-        with ctx.timer.measure(STAGE_ER):
+        with ctx.timer.measure(STAGE_ER), tel.span("entity_resolution"):
             # Phase 2: order-bound maintenance + candidate lookup, with the
             # result-set mutations deferred into an event log.
             events: List[Tuple[int, object]] = []
             evicted_keys: List[SynopsisKey] = []
-            for task in tasks:
-                ctx.timestamps_processed += 1
-                evicted = pipeline.maintenance.expire(task.record.source,
-                                                      defer_result_set=True)
-                if evicted is not None:
-                    key = (evicted.record.rid, evicted.record.source)
-                    events.append((_EVICT, key))
-                    evicted_keys.append(key)
-                task.candidates = pipeline.candidates.lookup(task.synopsis)
-                events.append((_EMIT, task))
-                pipeline.maintenance.insert(task.synopsis)
+            with tel.span("maintenance_lookup"):
+                for task in tasks:
+                    ctx.timestamps_processed += 1
+                    evicted = pipeline.maintenance.expire(
+                        task.record.source, defer_result_set=True)
+                    if evicted is not None:
+                        key = (evicted.record.rid, evicted.record.source)
+                        events.append((_EVICT, key))
+                        evicted_keys.append(key)
+                    task.candidates = pipeline.candidates.lookup(task.synopsis)
+                    events.append((_EMIT, task))
+                    pipeline.maintenance.insert(task.synopsis)
 
             # Phase 3: pure pair refinement (in-process or pooled).
-            if pooled:
-                if self._resolve_pool_mode(ctx,
-                                           len(records)) == POOL_PERSISTENT:
-                    self._evaluate_persistent(pipeline, tasks, evicted_keys)
+            with tel.span("refine"):
+                if pooled:
+                    if self._resolve_pool_mode(
+                            ctx, len(records)) == POOL_PERSISTENT:
+                        self._evaluate_persistent(pipeline, tasks,
+                                                  evicted_keys)
+                    else:
+                        self._evaluate_pooled(pipeline, tasks)
                 else:
-                    self._evaluate_pooled(pipeline, tasks)
-            else:
-                self._evaluate_in_process(pipeline, tasks)
+                    self._evaluate_in_process(pipeline, tasks)
 
             # Phase 4: replay result-set mutations in arrival order.
-            result_set = ctx.result_set
-            for kind, payload in events:
-                if kind == _EVICT:
-                    result_set.remove_record(*payload)
-                else:
-                    for pair in payload.matches:
-                        result_set.add(pair)
+            with tel.span("result_replay"):
+                result_set = ctx.result_set
+                for kind, payload in events:
+                    if kind == _EVICT:
+                        result_set.remove_record(*payload)
+                    else:
+                        for pair in payload.matches:
+                            result_set.add(pair)
 
         return [task.matches for task in tasks]
 
@@ -518,6 +529,7 @@ class MicroBatchExecutor(Executor):
         worker per batch, matches + counters back.
         """
         ctx = pipeline.ctx
+        tel = ctx.telemetry
         mode = self._resolve_pool_mode(ctx, len(tasks))
         if mode == POOL_PERSISTENT:
             pool = self._ensure_sharded_pool(ctx)
@@ -531,30 +543,33 @@ class MicroBatchExecutor(Executor):
         events: List[Tuple[int, object]] = []
         task_regions: List[int] = []
         task_evictions: List[List[SynopsisKey]] = []
-        for task in tasks:
-            ctx.timestamps_processed += 1
-            evicted = pipeline.maintenance.expire(task.record.source,
-                                                  defer_result_set=True)
-            keys: List[SynopsisKey] = []
-            if evicted is not None:
-                key = (evicted.record.rid, evicted.record.source)
-                events.append((_EVICT, key))
-                keys.append(key)
-            task_evictions.append(keys)
-            task_regions.append(ctx.grid.region_of(task.synopsis,
-                                                   self.max_workers))
-            events.append((_EMIT, task))
-            pipeline.maintenance.insert(task.synopsis)
+        with tel.span("maintenance_lookup"):
+            for task in tasks:
+                ctx.timestamps_processed += 1
+                evicted = pipeline.maintenance.expire(task.record.source,
+                                                      defer_result_set=True)
+                keys: List[SynopsisKey] = []
+                if evicted is not None:
+                    key = (evicted.record.rid, evicted.record.source)
+                    events.append((_EVICT, key))
+                    keys.append(key)
+                task_evictions.append(keys)
+                task_regions.append(ctx.grid.region_of(task.synopsis,
+                                                       self.max_workers))
+                events.append((_EMIT, task))
+                pipeline.maintenance.insert(task.synopsis)
 
         if pool is not None:
             matches_by_task, stats, counters = pool.evaluate_batch(
                 tasks, task_regions, task_evictions, reconciliation,
-                grid=ctx.grid, transport=ctx.transport)
+                grid=ctx.grid, transport=ctx.transport,
+                trace=tel.current_trace)
         else:
             matches_by_task, stats, counters = self._evaluate_sharded_per_batch(
                 ctx, tasks, task_regions, task_evictions, window_items)
-        self._merge_shard_results(ctx, tasks, events, matches_by_task, stats,
-                                  counters)
+        with tel.span("result_replay"):
+            self._merge_shard_results(ctx, tasks, events, matches_by_task,
+                                      stats, counters)
 
     @staticmethod
     def _merge_shard_results(ctx, tasks: Sequence[TupleTask], events,
@@ -597,6 +612,7 @@ class MicroBatchExecutor(Executor):
         every intermediate aggregate from the journal's at-write values.
         """
         ctx = pipeline.ctx
+        tel = ctx.telemetry
         grid = ctx.grid
         pool = self._ensure_shm_pool(ctx)
         reset = pool.begin_batch(grid)
@@ -606,6 +622,8 @@ class MicroBatchExecutor(Executor):
         events: List[Tuple[int, object]] = []
         ops = []
         routed: dict = {}
+        maintenance_scope = tel.span("maintenance_journal")
+        maintenance_scope.__enter__()
         try:
             for index, task in enumerate(tasks):
                 ctx.timestamps_processed += 1
@@ -645,10 +663,13 @@ class MicroBatchExecutor(Executor):
             pre_rows = journal.drain_pre()
         finally:
             grid.journal = None
+            maintenance_scope.__exit__(None, None, None)
         matches_by_task, stats, counters = pool.evaluate_batch(
-            grid, reset, ops, routed, pre_rows, transport=ctx.transport)
-        self._merge_shard_results(ctx, tasks, events, matches_by_task, stats,
-                                  counters)
+            grid, reset, ops, routed, pre_rows, transport=ctx.transport,
+            trace=tel.current_trace)
+        with tel.span("result_replay"):
+            self._merge_shard_results(ctx, tasks, events, matches_by_task,
+                                      stats, counters)
 
     def _evaluate_sharded_per_batch(self, ctx, tasks: Sequence[TupleTask],
                                     task_regions: Sequence[int],
@@ -713,7 +734,8 @@ class MicroBatchExecutor(Executor):
             for index, task in enumerate(tasks) if task.candidates
         ]
         verdicts_by_task, stats = pool.evaluate_batch(
-            tasks, task_regions, evicted_keys, transport=ctx.transport)
+            tasks, task_regions, evicted_keys, transport=ctx.transport,
+            trace=ctx.telemetry.current_trace)
         pruning.stats.merge(stats)
         for index, verdicts in verdicts_by_task.items():
             task = tasks[index]

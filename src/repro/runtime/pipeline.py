@@ -59,23 +59,28 @@ class Pipeline:
         imputation / timing counters).
         """
         ctx = self.ctx
+        tel = ctx.telemetry
         ctx.timestamps_processed += 1
         task = TupleTask(record=record)
-        self.maintenance.expire(record.source)
+        with tel.span("maintenance"):
+            self.maintenance.expire(record.source)
 
         # --- online CDD selection (index access, Figure 6 stage 1) ---
-        with ctx.timer.measure(STAGE_CDD_SELECTION):
+        with ctx.timer.measure(STAGE_CDD_SELECTION), tel.span("rule_selection"):
             task.selected_rules = self.rule_selection.select(record)
 
         # --- online imputation (Figure 6 stage 2) ---
-        with ctx.timer.measure(STAGE_IMPUTATION):
+        with ctx.timer.measure(STAGE_IMPUTATION), tel.span("imputation"):
             task.imputed = self.imputation.impute(record, task.selected_rules)
             task.synopsis = self.synopsis.build(task.imputed)
 
         # --- online topic-aware ER (Figure 6 stage 3) ---
-        with ctx.timer.measure(STAGE_ER):
-            task.candidates = self.candidates.lookup(task.synopsis)
-            self.matching.evaluate_serial(task)
-            self.maintenance.insert(task.synopsis)
+        with ctx.timer.measure(STAGE_ER), tel.span("entity_resolution"):
+            with tel.span("lookup"):
+                task.candidates = self.candidates.lookup(task.synopsis)
+            with tel.span("refine"):
+                self.matching.evaluate_serial(task)
+            with tel.span("maintenance"):
+                self.maintenance.insert(task.synopsis)
 
         return task.matches

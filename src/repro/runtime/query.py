@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.matching import MatchPair, normalise_keywords
@@ -148,17 +149,22 @@ class QueryResolver:
         gamma_value = pruning.gamma if gamma is None else float(gamma)
         if not ctx.grid.contains(rid, source):
             raise KeyError(f"({rid!r}, {source!r}) is not in the live window")
+        tel = ctx.telemetry
+        start = perf_counter()
         ctx.query.resolves += 1
         cache_key: CacheKey = (rid, source, keywords, gamma_value)
         entry = self._cache.get(cache_key)
         if entry is not None:
             ctx.query.cache_hits += 1
             self._cache.move_to_end(cache_key)
+            tel.observe_resolve(perf_counter() - start, cached=True)
             return entry.cluster
         ctx.query.cache_misses += 1
-        cluster, member_synopses = self._expand(
-            (rid, source), keywords, gamma_value)
+        with tel.span("resolve"):
+            cluster, member_synopses = self._expand(
+                (rid, source), keywords, gamma_value)
         self._store(cache_key, cluster, member_synopses, gamma_value)
+        tel.observe_resolve(perf_counter() - start, cached=False)
         return cluster
 
     def clear(self) -> None:

@@ -49,6 +49,7 @@ from __future__ import annotations
 import pickle
 import queue as queue_module
 import traceback
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pruning import (
@@ -112,13 +113,15 @@ def _worker_main(worker_id: int, requests, responses, params_blob: bytes) -> Non
         if message is None:
             break
         try:
-            insertions, orders, evictions = pickle.loads(message)
+            insertions, orders, evictions, want_spans = pickle.loads(message)
+            base = perf_counter()
             for handle, record, candidates in insertions:
                 imputed = _rebuild_imputed(record, schema, candidates)
                 synopsis = RecordSynopsis.build(imputed, pivots, keywords)
                 store[handle] = synopsis
                 if packed is not None:
                     packed.insert(synopsis)
+            applied = perf_counter()
             stats = PruningStats()
             results: List[Tuple[int, List[Tuple[bool, float]]]] = []
             for task_index, query_handle, candidate_handles in orders:
@@ -127,6 +130,7 @@ def _worker_main(worker_id: int, requests, responses, params_blob: bytes) -> Non
                 results.append((task_index, evaluate_candidates(
                     query, candidates, stats=stats, vectorized=vectorized,
                     store=packed, **params)))
+            refined = perf_counter()
             for handle in evictions:
                 synopsis = store.pop(handle, None)
                 # Only drop the packed row if it still belongs to this
@@ -134,9 +138,17 @@ def _worker_main(worker_id: int, requests, responses, params_blob: bytes) -> Non
                 if (synopsis is not None and packed is not None
                         and packed.row_for(synopsis) is not None):
                     packed.remove(synopsis.rid, synopsis.source)
-            responses.put((worker_id, results, stats, None))
+            # Span rows ship as (name, rel_start, duration) with starts
+            # relative to this worker's message receipt: worker clocks are
+            # not synchronised with the parent, only the relative layout is
+            # meaningful (the parent re-anchors them under the live trace).
+            spans = ([("apply_deltas", 0.0, applied - base),
+                      ("refine", applied - base, refined - applied)]
+                     if want_spans else None)
+            responses.put((worker_id, results, stats, spans, None))
         except Exception:  # pragma: no cover - surfaced in the parent
-            responses.put((worker_id, None, None, traceback.format_exc()))
+            responses.put((worker_id, None, None, None,
+                           traceback.format_exc()))
 
 
 class _ResidentWorkerPool:
@@ -286,7 +298,7 @@ class PersistentRefinementPool(_ResidentWorkerPool):
     def evaluate_batch(self, tasks: Sequence,
                        task_regions: Sequence[Tuple[int, int]],
                        evicted_keys: Sequence[SynopsisKey],
-                       transport=None,
+                       transport=None, trace=None,
                        ) -> Tuple[Dict[int, List[Tuple[bool, float]]],
                                   PruningStats]:
         """Ship one micro-batch's deltas + orders; gather the verdicts.
@@ -294,7 +306,9 @@ class PersistentRefinementPool(_ResidentWorkerPool):
         ``task_regions`` lists ``(task_index, region)`` for every task with
         candidates; ``tasks`` is the whole batch's task list (queries and
         candidates are read off it).  Returns the verdict lists keyed by
-        task index plus the merged pruning counters.
+        task index plus the merged pruning counters.  With ``trace`` (a
+        live :class:`~repro.obs.tracing.BatchTrace`), the workers time
+        their stages and the shipped spans are stitched under it.
         """
         if self._closed:
             raise RuntimeError("the persistent refinement pool is closed")
@@ -349,12 +363,14 @@ class PersistentRefinementPool(_ResidentWorkerPool):
         total_bytes = 0
         total_insertions = 0
         total_evictions = 0
+        want_spans = trace is not None
         for worker in sorted(workers_involved):
             insertions = insertions_by_worker.get(worker, [])
             evictions = evictions_by_worker.get(worker, [])
             worker_orders = orders_by_worker.get(worker, [])
-            payload = pickle.dumps((insertions, worker_orders, evictions),
-                                   protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pickle.dumps(
+                (insertions, worker_orders, evictions, want_spans),
+                protocol=pickle.HIGHEST_PROTOCOL)
             total_bytes += len(payload)
             total_insertions += len(insertions)
             total_evictions += len(evictions)
@@ -365,11 +381,13 @@ class PersistentRefinementPool(_ResidentWorkerPool):
         verdicts: Dict[int, List[Tuple[bool, float]]] = {}
         errors: List[str] = []
         for _ in messaged:
-            _, results, stats, error = self._next_response()
+            worker_id, results, stats, spans, error = self._next_response()
             if error is not None:
                 errors.append(error)
                 continue
             merged.merge(stats)
+            if want_spans:
+                trace.add_worker_spans("refinement", worker_id, spans)
             for task_index, task_verdicts in results:
                 verdicts[task_index] = task_verdicts
         if errors:
@@ -462,7 +480,7 @@ class ResidentShard:
         for handle in handles:
             self.store.pop(handle, None)
 
-    def execute(self, ops: Sequence[ShardOp]
+    def execute(self, ops: Sequence[ShardOp], spans: Optional[List] = None
                 ) -> Tuple[List[Tuple[int, List[ShardMatch]]], PruningStats,
                            Tuple[int, int]]:
         """Replay one micro-batch's ops; evaluate the queries of this shard.
@@ -476,10 +494,13 @@ class ResidentShard:
         over every surviving pair of the micro-batch.  Returns the matches
         of the evaluated tasks, the pruning counters, and the
         grid-examination counter deltas ``(cells_examined,
-        tuples_examined)``.
+        tuples_examined)``.  With a ``spans`` list, appends
+        ``(name, rel_start, duration)`` timing rows (relative to this
+        call's entry) for the replay/lookup loop and the refinement sweep.
         """
         from repro.runtime.evaluation import evaluate_task_batch
 
+        base = perf_counter() if spans is not None else 0.0
         grid = self.grid
         cells_before = grid.cells_examined
         tuples_before = grid.tuples_examined
@@ -499,10 +520,16 @@ class ResidentShard:
                 if candidates:
                     pending.append((task_index, synopsis, candidates))
             grid.insert(synopsis)
+        if spans is not None:
+            looked_up = perf_counter()
+            spans.append(("replay_lookup", 0.0, looked_up - base))
         verdict_lists = evaluate_task_batch(
             [(query, candidates) for _, query, candidates in pending],
             stats=stats, vectorized=self.vectorized,
             store=grid.packed_store, **self.eval_params)
+        if spans is not None:
+            spans.append(("refine", looked_up - base,
+                          perf_counter() - looked_up))
         results: List[Tuple[int, List[ShardMatch]]] = []
         for (task_index, _, candidates), verdicts in zip(pending,
                                                          verdict_lists):
@@ -527,16 +554,28 @@ def _shard_worker_main(worker_id: int, requests, responses,
         if message is None:
             break
         try:
-            insertions, stale_keys, backfill, ops, retired = \
+            insertions, stale_keys, backfill, ops, retired, want_spans = \
                 pickle.loads(message)
+            base = perf_counter()
             shard.apply_insertions(insertions)
             shard.remove_keys(stale_keys)
             shard.insert_handles(backfill)
-            results, stats, counters = shard.execute(ops)
+            reconciled = perf_counter()
+            exec_spans: Optional[List] = [] if want_spans else None
+            results, stats, counters = shard.execute(ops, spans=exec_spans)
             shard.retire(retired)
-            responses.put((worker_id, results, stats, counters, None))
+            if want_spans:
+                # Offset execute()'s relative rows behind the reconcile
+                # stage so the shipped layout reads in worker wall order.
+                offset = reconciled - base
+                spans = [("reconcile", 0.0, offset)] + [
+                    (name, start + offset, duration)
+                    for name, start, duration in exec_spans]
+            else:
+                spans = None
+            responses.put((worker_id, results, stats, counters, spans, None))
         except Exception:  # pragma: no cover - surfaced in the parent
-            responses.put((worker_id, None, None, None,
+            responses.put((worker_id, None, None, None, None,
                            traceback.format_exc()))
 
 
@@ -609,7 +648,7 @@ class ShardedERPool(_ResidentWorkerPool):
                                              List[SynopsisKey],
                                              List[int], List[int]],
                        grid=None,
-                       transport=None,
+                       transport=None, trace=None,
                        ) -> Tuple[Dict[int, List[ShardMatch]], PruningStats,
                                   Tuple[int, int]]:
         """Broadcast one micro-batch; gather matches + counters.
@@ -656,8 +695,9 @@ class ShardedERPool(_ResidentWorkerPool):
                 ops.append((index, task_evictions[index], handle,
                             task_regions[index]))
 
+            want_spans = trace is not None
             payload = pickle.dumps(
-                (insertions, stale_keys, backfill, ops, retired),
+                (insertions, stale_keys, backfill, ops, retired, want_spans),
                 protocol=pickle.HIGHEST_PROTOCOL)
             for request_queue in self._requests:
                 request_queue.put(payload)
@@ -676,11 +716,14 @@ class ShardedERPool(_ResidentWorkerPool):
         tuples_delta = 0
         errors: List[str] = []
         for _ in range(self._workers):
-            _, results, stats, counters, error = self._next_response()
+            worker_id, results, stats, counters, spans, error = \
+                self._next_response()
             if error is not None:
                 errors.append(error)
                 continue
             merged.merge(stats)
+            if want_spans:
+                trace.add_worker_spans("sharded_er", worker_id, spans)
             cells_delta += counters[0]
             tuples_delta += counters[1]
             for task_index, task_matches in results:
@@ -806,12 +849,18 @@ class _ShmShardReplica:
         self.resident: Dict[int, _RecordShell] = {}
         self.epoch = 0
         self._pending = None
+        #: Per-batch timing rows ``(name, rel_start, duration)``; ``None``
+        #: unless the batch message asked for spans.
+        self._spans: Optional[List] = None
+        self._span_base = 0.0
 
     # -- batch protocol ------------------------------------------------------
     def apply_batch(self, message) -> List[int]:
         """Replay one batch's ops; returns handles needing lazy backfill."""
         (_, epoch, packed_desc, cells_desc, reset, pre_rows, routed,
-         ops) = message
+         ops, want_spans) = message
+        self._span_base = perf_counter()
+        self._spans = [] if want_spans else None
         if reset is not None:
             self._apply_reset(reset)
         elif epoch != self.epoch + 1:
@@ -859,6 +908,9 @@ class _ShmShardReplica:
             retired.extend(replaced)
         self._pending = (pending, retired, stats,
                          (cells_examined, tuples_examined))
+        if self._spans is not None:
+            self._spans.append(("replay_lookup", 0.0,
+                                perf_counter() - self._span_base))
         needed = {query_handle for _, _, query_handle, _ in pending}
         for _, _, _, survivors in pending:
             needed.update(chandle for _, _, chandle in survivors)
@@ -866,15 +918,27 @@ class _ShmShardReplica:
                       if handle not in self.resident)
 
     def apply_backfill(self, records: Sequence[Insertion]) -> None:
+        start = perf_counter() if self._spans is not None else 0.0
         for handle, record, candidates in records:
             self.resident[handle] = _RecordShell(
                 _rebuild_imputed(record, self.schema, candidates))
+        if self._spans is not None:
+            self._spans.append(("backfill", start - self._span_base,
+                                perf_counter() - start))
+
+    def take_spans(self) -> Optional[List]:
+        """This batch's timing rows (``None`` when not requested),
+        cleared for the next batch."""
+        spans = self._spans
+        self._spans = None
+        return spans
 
     def finish_batch(self) -> Tuple[List[Tuple[int, List[ShardMatch]]],
                                     PruningStats, Tuple[int, int]]:
         """Refine this shard's surviving pairs; retire superseded handles."""
         from repro.runtime.evaluation import refine_pair_cached
 
+        refine_start = perf_counter() if self._spans is not None else 0.0
         pending, retired, stats, counters = self._pending
         self._pending = None
         results: List[Tuple[int, List[ShardMatch]]] = []
@@ -896,6 +960,9 @@ class _ShmShardReplica:
         for handle in retired:
             self.resident.pop(handle, None)
             self.rows.pop(handle, None)
+        if self._spans is not None:
+            self._spans.append(("refine", refine_start - self._span_base,
+                                perf_counter() - refine_start))
         return results, stats, counters
 
     def close(self) -> None:
@@ -1030,7 +1097,8 @@ def _shm_worker_main(worker_id: int, requests, responses,
                         break
                     replica.apply_backfill(pickle.loads(reply)[1])
                 results, stats, counters = replica.finish_batch()
-                responses.put((worker_id, "done", results, stats, counters))
+                responses.put((worker_id, "done", results, stats, counters,
+                               replica.take_spans()))
             except Exception:  # pragma: no cover - surfaced in the parent
                 responses.put((worker_id, "error", traceback.format_exc()))
     finally:
@@ -1154,7 +1222,7 @@ class ShmShardedERPool(_ResidentWorkerPool):
 
     def evaluate_batch(self, grid, reset, ops: Sequence[ShmShardOp],
                        routed: Dict[int, List[Insertion]], pre_rows,
-                       transport=None):
+                       transport=None, trace=None):
         """Publish the epoch, ship the op journal, gather matches.
 
         ``reset`` is :meth:`begin_batch`'s output; ``ops`` the
@@ -1176,12 +1244,13 @@ class ShmShardedERPool(_ResidentWorkerPool):
         payloads = []
         total_bytes = 0
         routed_count = 0
+        want_spans = trace is not None
         for worker in range(self._workers):
             deltas = routed.get(worker, [])
             routed_count += len(deltas)
             payload = pickle.dumps(
                 ("batch", self._epoch, packed_desc, cells_desc, reset,
-                 pre_rows, deltas, ops),
+                 pre_rows, deltas, ops, want_spans),
                 protocol=pickle.HIGHEST_PROTOCOL)
             total_bytes += len(payload)
             payloads.append(payload)
@@ -1203,6 +1272,9 @@ class ShmShardedERPool(_ResidentWorkerPool):
                         backfill_count += count
                         replica.apply_backfill(pickle.loads(reply)[1])
                     results, stats, counters = replica.finish_batch()
+                    if want_spans:
+                        trace.add_worker_spans("shm_sharded_er", worker,
+                                               replica.take_spans())
                     merged.merge(stats)
                     cells_delta += counters[0]
                     tuples_delta += counters[1]
@@ -1238,7 +1310,9 @@ class ShmShardedERPool(_ResidentWorkerPool):
                 if tag == "error":
                     errors.append(response[2])
                     continue
-                _, _, results, stats, counters = response
+                _, _, results, stats, counters, spans = response
+                if want_spans:
+                    trace.add_worker_spans("shm_sharded_er", worker_id, spans)
                 merged.merge(stats)
                 cells_delta += counters[0]
                 tuples_delta += counters[1]

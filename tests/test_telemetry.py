@@ -1,0 +1,660 @@
+"""Unified telemetry plane tests.
+
+The heavyweight guarantees:
+
+* **Golden bit-identity** — enabling the full telemetry plane (metrics,
+  tracing, profiling) perturbs *nothing* observable: match sets, the
+  Figure-4 ``PruningStats`` counters and the index ``nodes_visited``
+  totals are bit-identical on vs off across the serial, sharded and
+  shm-plane executors at 1, 2 and 4 shards;
+* **Trace stitching** — one batch trace stitches the main-process stage
+  spans and the pooled worker spans (both ``ShardedERPool`` and
+  ``ShmShardedERPool``) into a single exported tree;
+* **Exposition** — the Prometheus renderer emits parseable 0.0.4 text
+  (monotone cumulative buckets ending at ``+Inf``, escaped labels,
+  ``_total`` counter suffix);
+* **Compatibility** — ``IngestStats.p95_formation_latency`` stays
+  bit-compatible after its sample ring moved onto ``HistogramValue``,
+  and ``batch_seq`` / trace-id metadata survives a checkpoint.
+"""
+
+import json
+import logging
+import random
+
+import pytest
+
+from golden_utils import (
+    GOLDEN_WORKLOADS,
+    build_config,
+    build_workload,
+    canonical_matches,
+)
+from repro.core.config import TERiDSConfig
+from repro.core.engine import TERiDSEngine
+from repro.core.pruning import HAS_NUMPY
+from repro.datasets.synthetic import generate_dataset
+from repro.obs import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    BatchTrace,
+    HistogramValue,
+    LogReporter,
+    MetricsRegistry,
+    NULL_SCOPE,
+    NULL_TELEMETRY,
+    SlowBatchProfiler,
+    Telemetry,
+    Tracer,
+    exponential_buckets,
+    render_prometheus,
+)
+from repro.runtime import MicroBatchExecutor, QueryResolver, SerialExecutor
+from repro.runtime.context import INGEST_SERIES_WINDOW, IngestStats
+from repro.runtime.shm_plane import HAS_SHM
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+needs_shm = pytest.mark.skipif(
+    not HAS_SHM, reason="requires numpy and multiprocessing.shared_memory")
+
+PRUNING_FIELDS = (
+    "pairs_considered", "pruned_by_topic", "pruned_by_similarity",
+    "pruned_by_probability", "pruned_by_instance", "refined_matches",
+    "refined_non_matches",
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry primitives
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", "Hits").inc()
+        registry.counter("hits").inc(2.0)
+        registry.gauge("depth", "Depth").set(7.0)
+        registry.gauge("depth").dec(3.0)
+        assert registry.counter("hits").value == 3.0
+        assert registry.gauge("depth").value == 4.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_labelled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        family = registry.counter("pairs", labelnames=("outcome",))
+        family.labels(outcome="topic").inc(5.0)
+        family.labels(outcome="instance").inc(1.0)
+        assert family.labels(outcome="topic").value == 5.0
+        assert family.labels(outcome="instance").value == 1.0
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(wrong="topic")
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(0.001, 2.0, 4) == (
+            0.001, 0.002, 0.004, 0.008)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.1, 1.0, 4)
+
+    def test_histogram_bucket_placement(self):
+        hist = HistogramValue(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        # bisect_left: a value equal to a bound lands in that bound's bucket.
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        rows = hist.cumulative_buckets()
+        assert rows[-1] == (float("inf"), 5)
+        cumulative = [count for _, count in rows]
+        assert cumulative == sorted(cumulative)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(55.65)
+
+    def test_histogram_quantile_matches_legacy_formula(self):
+        """The pinned nearest-rank formula the ingest path always used."""
+        rng = random.Random(13)
+        samples = [rng.random() for _ in range(257)]
+        hist = HistogramValue(sample_window=1024)
+        for value in samples:
+            hist.observe(value)
+        ordered = sorted(samples)
+        for q in (0.5, 0.95, 0.99):
+            assert hist.quantile(q) == ordered[int(q * (len(ordered) - 1))]
+        assert HistogramValue().quantile(0.95) == 0.0
+
+    def test_histogram_sample_window_bounds_ring(self):
+        hist = HistogramValue(sample_window=4)
+        for value in range(10):
+            hist.observe(float(value))
+        assert list(hist.samples) == [6.0, 7.0, 8.0, 9.0]
+        assert hist.count == 10  # buckets keep the full count
+
+    def test_histogram_reset(self):
+        hist = HistogramValue(buckets=(1.0,))
+        hist.observe(0.5)
+        hist.reset()
+        assert hist.count == 0 and hist.sum == 0.0
+        assert not hist.samples and hist.bucket_counts == [0, 0]
+
+    def test_bind_and_bind_multi_collect(self):
+        registry = MetricsRegistry()
+        registry.bind("bound_total", lambda: 42.0, labels={"kind": "a"})
+        registry.bind("bound_total", lambda: 1.0, labels={"kind": "b"})
+        registry.bind_multi("fanned_total", "trigger",
+                            lambda: {"size": 3, "timer": 1})
+        out = {family["name"]: family for family in registry.collect()}
+        samples = {tuple(sorted(s["labels"].items())): s["value"]
+                   for s in out["bound_total"]["samples"]}
+        assert samples == {(("kind", "a"),): 42.0, (("kind", "b"),): 1.0}
+        fanned = {s["labels"]["trigger"]: s["value"]
+                  for s in out["fanned_total"]["samples"]}
+        assert fanned == {"size": 3.0, "timer": 1.0}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+class TestPrometheusRender:
+    def test_render_parses_under_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", "Requests served",
+                         labelnames=("stage",)).labels(stage="er").inc(3)
+        registry.gauge("queue_depth", "Depth").set(2.5)
+        hist = registry.histogram("latency_seconds", "Latency",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        # Counters grow a _total suffix; TYPE lines agree with samples.
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{stage="er"} 3' in text
+        assert "queue_depth 2.5" in text
+        assert '# TYPE latency_seconds histogram' in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1.0"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "latency_seconds_sum 5.05" in text
+        assert "latency_seconds_count 2" in text
+        # Minimal format validation: every non-comment line is
+        # "name{labels} value" with a float-parseable value.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part[0].isalpha()
+            float(value.replace("+Inf", "inf"))
+
+    def test_bucket_rows_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(value)
+        lines = [line for line in render_prometheus(registry).splitlines()
+                 if line.startswith("h_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert lines[-1].startswith('h_bucket{le="+Inf"}')
+        assert counts[-1] == 4
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("k",)).labels(
+            k='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'k="a\\"b\\\\c\\nd"' in text
+
+
+# ---------------------------------------------------------------------------
+# Tracing and profiling primitives
+# ---------------------------------------------------------------------------
+
+class TestTracing:
+    def test_span_tree_nesting(self):
+        trace = BatchTrace("batch-1", 1, 10)
+        with trace.span("outer"):
+            with trace.span("inner", stage="er"):
+                pass
+            with trace.span("sibling"):
+                pass
+        trace.finish()
+        tree = trace.to_dict()
+        assert tree["trace_id"] == "batch-1"
+        root = tree["spans"]
+        assert root["name"] == "batch"
+        (outer,) = root["children"]
+        assert [child["name"] for child in outer["children"]] == [
+            "inner", "sibling"]
+        assert outer["children"][0]["labels"] == {"stage": "er"}
+        assert root["duration"] >= outer["duration"] >= 0.0
+
+    def test_worker_spans_anchor_under_open_span(self):
+        trace = BatchTrace("batch-2", 2, 4)
+        with trace.span("entity_resolution"):
+            trace.add_worker_spans("sharded_er", 1, [
+                ("replay_lookup", 0.0, 0.25), ("refine", 0.25, 0.5)])
+        trace.finish()
+        er = trace.to_dict()["spans"]["children"][0]
+        names = [child["name"] for child in er["children"]]
+        assert names == ["replay_lookup", "refine"]
+        for child in er["children"]:
+            assert child["labels"] == {"pool": "sharded_er", "shard": "1"}
+        # Relative ordering of the shipped rows is preserved.
+        lookup, refine = er["children"]
+        assert refine["start"] - lookup["start"] == pytest.approx(0.25)
+
+    def test_tracer_ring_is_bounded(self):
+        tracer = Tracer(ring=2)
+        for seq in range(4):
+            tracer.begin(f"batch-{seq}", seq, 1)
+            tracer.end()
+        exported = tracer.export()
+        assert [t["trace_id"] for t in exported] == ["batch-2", "batch-3"]
+        assert tracer.current is None
+
+    def test_on_span_callback_fires_per_closed_span(self):
+        seen = []
+        tracer = Tracer(on_span=lambda span: seen.append(span.name))
+        trace = tracer.begin("batch-0", 0, 1)
+        with trace.span("imputation"):
+            pass
+        tracer.end()
+        assert seen == ["imputation", "batch"]
+
+
+class TestProfiler:
+    def test_keeps_only_slowest(self):
+        profiler = SlowBatchProfiler(top_n=2)
+        for seq, spin in ((1, 1000), (2, 200000), (3, 60000)):
+            with profiler.profile(seq):
+                sum(range(spin))
+        kept = [entry["batch_seq"] for entry in profiler.as_dicts()]
+        assert len(kept) == 2
+        assert 2 in kept  # the heaviest batch is always retained
+        for entry in profiler.as_dicts():
+            assert "cumulative" in entry["stats"]
+
+
+# ---------------------------------------------------------------------------
+# Null plane
+# ---------------------------------------------------------------------------
+
+class TestNullTelemetry:
+    def test_null_scope_is_shared_and_reentrant(self):
+        assert NULL_TELEMETRY.begin_batch(1, 10) is NULL_SCOPE
+        assert NULL_TELEMETRY.span("anything") is NULL_SCOPE
+        with NULL_SCOPE:
+            with NULL_SCOPE:
+                pass
+        assert NULL_TELEMETRY.enabled is False
+        assert NULL_TELEMETRY.current_trace is None
+        assert NULL_TELEMETRY.snapshot() is None
+        NULL_TELEMETRY.observe_resolve(0.1, cached=True)
+
+    def test_disabled_context_still_advances_batch_seq(self):
+        workload = generate_dataset("citations", missing_rate=0.3,
+                                    scale=0.2, seed=7)
+        config = TERiDSConfig(schema=workload.schema,
+                              keywords=workload.keywords, alpha=0.5,
+                              similarity_ratio=0.5, window_size=20)
+        engine = TERiDSEngine(workload.repository, config)
+        engine.run(workload.interleaved_records())
+        assert engine.ctx.telemetry is NULL_TELEMETRY
+        assert engine.ctx.batch_seq == engine.timestamps_processed
+        assert engine.ctx.last_trace_id is None
+
+
+# ---------------------------------------------------------------------------
+# IngestStats histogram compatibility
+# ---------------------------------------------------------------------------
+
+class TestIngestStatsCompatibility:
+    def test_formation_latencies_property_mirrors_ring(self):
+        stats = IngestStats()
+        stats.record_batch(size=3, latency=0.5, queue_depth=2,
+                           trigger="size")
+        assert list(stats.formation_latencies) == [0.5]
+        assert stats.formation.count == 1
+
+    def test_p95_matches_legacy_formula(self):
+        rng = random.Random(5)
+        latencies = [rng.random() for _ in range(100)]
+        stats = IngestStats()
+        for latency in latencies:
+            stats.record_batch(size=1, latency=latency, queue_depth=0,
+                               trigger="size")
+        ordered = sorted(latencies)
+        assert stats.p95_formation_latency() == ordered[int(0.95 * 99)]
+        # The generalisation adds configurable quantiles on the same ring.
+        assert stats.formation.quantile(0.5) == ordered[int(0.5 * 99)]
+        assert stats.formation.quantile(0.99) == ordered[int(0.99 * 99)]
+
+    def test_ring_is_bounded_by_series_window(self):
+        stats = IngestStats()
+        for index in range(INGEST_SERIES_WINDOW + 10):
+            stats.record_batch(size=1, latency=float(index), queue_depth=0,
+                               trigger="size")
+        assert len(stats.formation_latencies) == INGEST_SERIES_WINDOW
+
+    def test_restore_clears_ring(self):
+        stats = IngestStats()
+        stats.record_batch(size=1, latency=0.25, queue_depth=1,
+                           trigger="size")
+        stats.restore({"tuples_ingested": 5})
+        assert stats.p95_formation_latency() == 0.0
+        assert not stats.formation_latencies
+        assert stats.tuples_ingested == 5
+
+
+# ---------------------------------------------------------------------------
+# Golden bit-identity: telemetry on vs off, across executors and shards
+# ---------------------------------------------------------------------------
+
+def _observables(engine, report):
+    """Everything the goldens pin, plus the index-walk counters."""
+    return {
+        "matches": canonical_matches(report.matches),
+        "result_set": canonical_matches(engine.current_matches()),
+        "pruning": {name: getattr(report.pruning_stats, name)
+                    for name in PRUNING_FIELDS},
+        "imputation": report.imputation_stats.as_dict(),
+        "nodes_visited": {
+            "dr_index": engine.ctx.dr_index.nodes_visited,
+            "cdd_indexes": {name: index.nodes_visited for name, index
+                            in sorted(engine.ctx.cdd_indexes.items())},
+        },
+        "grid": {"cells": engine.ctx.grid.cells_examined,
+                 "tuples": engine.ctx.grid.tuples_examined},
+    }
+
+
+def _run_workload(executor_factory, telemetry):
+    dataset, scale, seed, window = GOLDEN_WORKLOADS[0]
+    workload = build_workload(dataset, scale, seed)
+    config = build_config(workload, window)
+    executor = executor_factory()
+    engine = TERiDSEngine(workload.repository, config, executor=executor)
+    if telemetry:
+        engine.enable_telemetry(profile_slowest=2)
+    try:
+        report = engine.run(workload.interleaved_records())
+        return _observables(engine, report)
+    finally:
+        executor.close()
+
+
+def _shm_inline_factory(workers):
+    def factory():
+        executor = MicroBatchExecutor(batch_size=8, max_workers=workers,
+                                      shard_lookup=True, shm_plane=True,
+                                      delta_routing=True)
+        executor._shm_inline = True
+        return executor
+    return factory
+
+
+IDENTITY_EXECUTORS = [
+    pytest.param(SerialExecutor, id="serial"),
+    pytest.param(lambda: MicroBatchExecutor(batch_size=8), id="vectorized",
+                 marks=needs_numpy),
+    pytest.param(_shm_inline_factory(1), id="shm-1shard", marks=needs_shm),
+    pytest.param(_shm_inline_factory(2), id="shm-2shard", marks=needs_shm),
+    pytest.param(_shm_inline_factory(4), id="shm-4shard", marks=needs_shm),
+]
+
+
+class TestGoldenBitIdentity:
+    @pytest.mark.parametrize("executor_factory", IDENTITY_EXECUTORS)
+    def test_telemetry_on_off_identical(self, executor_factory):
+        baseline = _run_workload(executor_factory, telemetry=False)
+        traced = _run_workload(executor_factory, telemetry=True)
+        assert traced == baseline
+
+    @needs_numpy
+    def test_real_sharded_pool_identical(self):
+        """Telemetry on/off over the real process-backed ShardedERPool."""
+        factory = lambda: MicroBatchExecutor(batch_size=8, max_workers=2,
+                                             shard_lookup=True)
+        baseline = _run_workload(factory, telemetry=False)
+        traced = _run_workload(factory, telemetry=True)
+        assert traced == baseline
+
+
+# ---------------------------------------------------------------------------
+# Trace stitching across pool boundaries (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+def _span_rows(root, depth=0):
+    yield depth, root["name"], root.get("labels", {})
+    for child in root.get("children", []):
+        yield from _span_rows(child, depth + 1)
+
+
+def _run_traced(executor):
+    workload = generate_dataset("citations", missing_rate=0.3, scale=0.2,
+                                seed=7)
+    config = TERiDSConfig(schema=workload.schema, keywords=workload.keywords,
+                          alpha=0.5, similarity_ratio=0.5, window_size=30)
+    engine = TERiDSEngine(workload.repository, config, executor=executor)
+    telemetry = engine.enable_telemetry(trace_ring=64)
+    try:
+        engine.run(workload.interleaved_records())
+        return engine, telemetry.tracer.export()
+    finally:
+        executor.close()
+
+
+class TestTraceStitching:
+    @needs_numpy
+    def test_sharded_pool_spans_stitch_into_batch_tree(self):
+        executor = MicroBatchExecutor(batch_size=16, max_workers=2,
+                                      shard_lookup=True)
+        engine, traces = _run_traced(executor)
+        stitched = self._assert_stitched(traces, pool="sharded_er",
+                                         worker_stages={"reconcile",
+                                                        "replay_lookup",
+                                                        "refine"})
+        assert stitched  # at least one batch carried pooled work
+
+    @needs_shm
+    def test_shm_pool_spans_stitch_into_batch_tree(self):
+        executor = MicroBatchExecutor(batch_size=16, max_workers=2,
+                                      shard_lookup=True, shm_plane=True,
+                                      delta_routing=True)
+        executor._shm_inline = True
+        engine, traces = _run_traced(executor)
+        stitched = self._assert_stitched(traces, pool="shm_sharded_er",
+                                         worker_stages={"replay_lookup",
+                                                        "refine",
+                                                        "backfill"})
+        assert stitched
+
+    def _assert_stitched(self, traces, pool, worker_stages):
+        stitched = 0
+        for trace in traces:
+            rows = list(_span_rows(trace["spans"]))
+            main_stages = {name for depth, name, labels in rows
+                           if not labels.get("pool")}
+            pooled = [(name, labels) for _, name, labels in rows
+                      if labels.get("pool") == pool]
+            if not pooled:
+                continue
+            stitched += 1
+            # One tree holds both the main-process pipeline stages and the
+            # worker-side spans shipped back across the pool boundary.
+            assert {"batch", "entity_resolution"} <= main_stages
+            assert {"rule_selection", "imputation"} <= main_stages
+            for name, labels in pooled:
+                assert name in worker_stages
+                assert labels["shard"].isdigit()
+            shards = {labels["shard"] for _, labels in pooled}
+            assert len(shards) >= 1
+        return stitched
+
+    def test_serial_pipeline_spans(self):
+        engine, traces = _run_traced(SerialExecutor())
+        rows = list(_span_rows(traces[-1]["spans"]))
+        names = {name for _, name, _ in rows}
+        assert {"batch", "rule_selection", "imputation",
+                "entity_resolution"} <= names
+        # Serial ER nests its sub-stages under entity_resolution.
+        assert {"lookup", "refine"} <= names
+
+
+# ---------------------------------------------------------------------------
+# resolve() discipline and batch_seq checkpointing
+# ---------------------------------------------------------------------------
+
+class TestResolveTelemetry:
+    def test_resolve_observes_hits_and_misses(self):
+        workload = generate_dataset("citations", missing_rate=0.3, scale=0.3,
+                                    seed=11)
+        config = TERiDSConfig(schema=workload.schema,
+                              keywords=workload.keywords, alpha=0.5,
+                              similarity_ratio=0.5, window_size=20)
+        engine = TERiDSEngine(workload.repository, config)
+        telemetry = engine.enable_telemetry()
+        engine.run(workload.interleaved_records())
+        resolver = QueryResolver(engine.ctx, cache_size=8)
+        source, window = next(iter(engine.ctx.windows.items()))
+        rid = next(iter(window.items())).record.rid
+        resolver.resolve(rid, source)   # cold: miss
+        resolver.resolve(rid, source)   # warm: hit
+        family = telemetry.registry.histogram("terids_resolve_seconds")
+        assert family.labels(result="miss").count == 1
+        assert family.labels(result="hit").count == 1
+        # Pruning counters stay untouched by interactive lookups — the
+        # goldens depend on it.
+        before = {name: getattr(engine.ctx.pruning.stats, name)
+                  for name in PRUNING_FIELDS}
+        resolver.resolve(rid, source)
+        after = {name: getattr(engine.ctx.pruning.stats, name)
+                 for name in PRUNING_FIELDS}
+        assert after == before
+
+
+class TestBatchSeqCheckpoint:
+    def test_batch_seq_and_trace_id_roundtrip(self, tmp_path):
+        workload = generate_dataset("citations", missing_rate=0.3, scale=0.3,
+                                    seed=11)
+        config = TERiDSConfig(schema=workload.schema,
+                              keywords=workload.keywords, alpha=0.5,
+                              similarity_ratio=0.5, window_size=20)
+        records = list(workload.interleaved_records())
+        first = TERiDSEngine(workload.repository, config)
+        first.enable_telemetry()
+        first.run(records[:len(records) // 2])
+        seq = first.ctx.batch_seq
+        assert seq > 0
+        assert first.ctx.last_trace_id == f"batch-{seq:08d}"
+
+        state = first.checkpoint()
+        assert state["telemetry"] == {"batch_seq": seq,
+                                      "trace_id": f"batch-{seq:08d}"}
+        path = tmp_path / "ckpt.json"
+        first.save_checkpoint(path)
+        assert json.loads(path.read_text())["state"]["telemetry"][
+            "batch_seq"] == seq
+
+        resumed = TERiDSEngine(workload.repository, config)
+        resumed.load_checkpoint(path)
+        assert resumed.ctx.batch_seq == seq
+        assert resumed.ctx.last_trace_id == f"batch-{seq:08d}"
+        # The sequence keeps climbing monotonically after restore, even
+        # with telemetry disabled on the resumed engine.
+        resumed.run(records[len(records) // 2:])
+        assert resumed.ctx.batch_seq > seq
+
+
+# ---------------------------------------------------------------------------
+# Snapshot API, Prometheus facade, log reporter
+# ---------------------------------------------------------------------------
+
+class TestEngineFacade:
+    @pytest.fixture()
+    def engine(self):
+        workload = generate_dataset("citations", missing_rate=0.3, scale=0.2,
+                                    seed=7)
+        config = TERiDSConfig(schema=workload.schema,
+                              keywords=workload.keywords, alpha=0.5,
+                              similarity_ratio=0.5, window_size=20)
+        engine = TERiDSEngine(workload.repository, config)
+        engine.enable_telemetry(profile_slowest=1)
+        engine.run(workload.interleaved_records())
+        return engine
+
+    def test_metrics_snapshot_is_json_serialisable(self, engine):
+        snapshot = engine.metrics_snapshot()
+        json.dumps(snapshot)  # must round-trip to JSON losslessly
+        assert snapshot["telemetry_enabled"] is True
+        assert snapshot["batch_seq"] == engine.ctx.batch_seq
+        assert snapshot["pruning"]["pairs_considered"] == \
+            engine.ctx.pruning.stats.pairs_considered
+        by_name = {family["name"]: family for family in snapshot["metrics"]}
+        assert by_name["terids_batches_total"]["samples"][0]["value"] == \
+            engine.ctx.batch_seq
+        pruning = {s["labels"]["outcome"]: s["value"] for s in
+                   by_name["terids_pruning_pairs_total"]["samples"]}
+        assert pruning["considered"] == \
+            engine.ctx.pruning.stats.pairs_considered
+        assert snapshot["traces"]
+        assert snapshot["profiles"]
+
+    def test_snapshot_reads_through_restore(self, engine):
+        """Bound getters must read through ctx, not captured stat objects."""
+        state = engine.checkpoint()
+        engine.restore_checkpoint(state)  # replaces ctx.imputer.stats
+        snapshot = engine.metrics_snapshot()
+        by_name = {family["name"]: family for family in snapshot["metrics"]}
+        imputed = {s["labels"]["kind"]: s["value"] for s in
+                   by_name["terids_imputation_events_total"]["samples"]}
+        assert imputed["records_imputed"] == \
+            engine.ctx.imputer.stats.records_imputed
+
+    def test_render_metrics_without_plane_raises(self):
+        workload = generate_dataset("citations", missing_rate=0.3, scale=0.2,
+                                    seed=7)
+        config = TERiDSConfig(schema=workload.schema,
+                              keywords=workload.keywords, alpha=0.5,
+                              similarity_ratio=0.5, window_size=20)
+        engine = TERiDSEngine(workload.repository, config)
+        with pytest.raises(RuntimeError, match="enable_telemetry"):
+            engine.render_metrics()
+        snapshot = engine.metrics_snapshot()  # snapshot works regardless
+        assert snapshot["telemetry_enabled"] is False
+        assert "metrics" not in snapshot
+
+    def test_render_metrics_exposes_bound_families(self, engine):
+        text = engine.render_metrics()
+        assert "# TYPE terids_pruning_pairs_total counter" in text
+        assert 'terids_pruning_pairs_total{outcome="considered"}' in text
+        assert "terids_batch_seconds_bucket" in text
+        assert "terids_ingest_formation_seconds_count 0" in text
+        assert f"terids_batch_seq {engine.ctx.batch_seq}" in text
+
+    def test_log_reporter(self, engine, caplog):
+        reporter = LogReporter(engine.ctx, every_batches=2)
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            reporter.on_batch(None, [])
+            assert not caplog.records
+            reporter.on_batch(None, [])
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert f"batch_seq={engine.ctx.batch_seq}" in message
+        assert "pairs_considered=" in message
+        assert "batch_p95=" in message
+
+    def test_disable_telemetry_restores_null_plane(self, engine):
+        engine.disable_telemetry()
+        assert engine.ctx.telemetry is NULL_TELEMETRY
