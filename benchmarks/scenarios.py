@@ -1,0 +1,193 @@
+"""Load-regime scenarios for the adaptive-runtime benchmark.
+
+Each scenario builds a *recorded event-time trace* over a synthetic
+workload — a deterministic, seeded list of ``(record, event_time)`` rows
+per ingest source — and replays it through
+:class:`~repro.ingest.sources.ReplaySource` (its ``timestamps`` trace
+input), so every configuration of the benchmark sees byte-identical input
+under a realistic shifting-load shape:
+
+* **burst** — arrivals clump into event-time bursts separated by quiet
+  stretches (the watermark leaps a stride at a time instead of ticking);
+* **skew** — two sources with a 9:1 hot/cold split: one source carries
+  almost all the volume while the other trickles (and holds the watermark
+  back between its arrivals);
+* **out_of_order** — event times are displaced within a bounded disorder
+  window, exercising the clock's reorder buffer on every batch;
+* **late_data** — a fraction of arrivals carries event times far behind
+  the watermark (bounded-lateness admission, late-policy accounting);
+* **missing_rate** — the workload itself is regenerated at a much higher
+  missing-attribute rate, shifting the per-tuple cost from matching into
+  rule selection + imputation.
+
+The scenarios are infrastructure, not a benchmark: ``bench_adaptive_runtime``
+replays each one under static and adaptive runtime configurations and
+compares them. Everything here is pure and deterministic (``random.Random``
+seeded per scenario) so two runs — or two configurations within one run —
+replay identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from bench_utils import BENCH_SEED
+
+from repro.datasets.synthetic import generate_dataset
+from repro.ingest.sources import ReplaySource
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One load regime: workload knobs + event-time trace shape."""
+
+    name: str
+    description: str
+    #: Missing-attribute rate of the generated workload.
+    missing_rate: float = 0.3
+    #: Number of ingest sources the trace is split across.
+    sources: int = 1
+    #: Fraction of records routed to the first (hot) source (multi-source
+    #: scenarios only; the rest is spread evenly over the cold sources).
+    hot_fraction: float = 0.0
+    #: Records per event-time burst (0 = smooth arrival times).
+    burst_size: int = 0
+    #: Event-time gap between consecutive bursts.
+    burst_gap: float = 0.0
+    #: Max bounded displacement applied to event times (0 = in order).
+    disorder: int = 0
+    #: Fraction of records whose event time is pushed far behind.
+    late_fraction: float = 0.0
+    #: How far behind a late record's event time lands.
+    late_by: float = 0.0
+    #: Driver-side lateness bound needed to admit this trace losslessly.
+    lateness: float = 0.0
+
+
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="burst",
+        description="arrivals clump into event-time bursts of 24 separated "
+                    "by 24-unit quiet gaps",
+        burst_size=24, burst_gap=24.0),
+    Scenario(
+        name="skew",
+        description="two sources, 9:1 hot/cold volume split",
+        sources=2, hot_fraction=0.9),
+    Scenario(
+        name="out_of_order",
+        description="event times displaced within a bounded disorder "
+                    "window of 8",
+        disorder=8, lateness=8.0),
+    Scenario(
+        name="late_data",
+        description="10% of arrivals carry event times 16 units behind",
+        late_fraction=0.1, late_by=16.0, lateness=16.0),
+    Scenario(
+        name="missing_rate",
+        description="workload regenerated at 60% missing attributes "
+                    "(imputation-bound tuples)",
+        missing_rate=0.6),
+)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}; "
+                   f"have {[s.name for s in SCENARIOS]}")
+
+
+def build_workload(scenario: Scenario, dataset: str = "citations",
+                   scale: float = 1.0, seed: int = BENCH_SEED):
+    """The scenario's synthetic workload (missing rate is scenario-owned)."""
+    return generate_dataset(dataset, missing_rate=scenario.missing_rate,
+                            scale=scale, seed=seed)
+
+
+def record_trace(scenario: Scenario, count: int,
+                 seed: int = BENCH_SEED) -> List[float]:
+    """The recorded event-time trace: one event time per arrival index.
+
+    Deterministic in ``(scenario, count, seed)``.  Base event times are the
+    arrival index; the scenario then reshapes them — bursts quantise them
+    into clumps, disorder displaces them within a bounded window, late
+    data drags a sampled fraction far behind.
+    """
+    # Seeded with a string: random.Random hashes it with its own stable
+    # algorithm (unlike tuple hash, which PYTHONHASHSEED randomises).
+    rng = random.Random(f"{seed}:{scenario.name}:{count}")
+    times: List[float] = []
+    for index in range(count):
+        if scenario.burst_size > 0:
+            # Whole bursts share one event-time clump; the watermark leaps
+            # a gap at a time between them.
+            burst = index // scenario.burst_size
+            within = index % scenario.burst_size
+            time = burst * (scenario.burst_size + scenario.burst_gap) \
+                + within * 0.01
+        else:
+            time = float(index)
+        times.append(time)
+    if scenario.disorder > 0:
+        # Bounded displacement: swap each event time with one up to
+        # ``disorder`` positions ahead (classic bounded out-of-orderness —
+        # no element ends up more than ``disorder`` from its slot).
+        for index in range(count - 1, 0, -1):
+            other = max(0, index - rng.randint(0, scenario.disorder))
+            times[index], times[other] = times[other], times[index]
+    if scenario.late_fraction > 0:
+        for index in range(count):
+            if index > 0 and rng.random() < scenario.late_fraction:
+                times[index] = max(0.0, times[index] - scenario.late_by)
+    return times
+
+
+def split_by_source(scenario: Scenario, records: Sequence,
+                    times: Sequence[float],
+                    seed: int = BENCH_SEED) -> List[Tuple[List, List[float]]]:
+    """Partition one (records, times) trace across the scenario's sources.
+
+    The skew scenario routes ``hot_fraction`` of the volume to source 0
+    (deterministically sampled); everything else round-robins over the
+    cold sources.  Single-source scenarios return the trace unsplit.
+    """
+    if scenario.sources <= 1:
+        return [(list(records), list(times))]
+    rng = random.Random(f"{seed}:{scenario.name}:split")
+    parts: List[Tuple[List, List[float]]] = [
+        ([], []) for _ in range(scenario.sources)]
+    cold = 0
+    for record, time in zip(records, times):
+        if rng.random() < scenario.hot_fraction:
+            target = 0
+        else:
+            cold += 1
+            target = 1 + (cold % (scenario.sources - 1))
+        parts[target][0].append(record)
+        parts[target][1].append(time)
+    return parts
+
+
+def build_sources(scenario: Scenario, records: Sequence,
+                  seed: int = BENCH_SEED) -> List[ReplaySource]:
+    """Replay sources carrying the scenario's recorded event-time trace."""
+    records = list(records)
+    times = record_trace(scenario, len(records), seed=seed)
+    return [
+        ReplaySource(part_records, name=f"{scenario.name}-{index}",
+                     timestamps=part_times)
+        for index, (part_records, part_times)
+        in enumerate(split_by_source(scenario, records, times, seed=seed))
+    ]
+
+
+def driver_kwargs(scenario: Scenario) -> Dict[str, object]:
+    """Driver knobs the trace needs to be admitted losslessly."""
+    kwargs: Dict[str, object] = {}
+    if scenario.lateness > 0:
+        kwargs["lateness"] = scenario.lateness
+    return kwargs

@@ -303,6 +303,18 @@ class TERiDSEngine:
         """
         return self.resolver.resolve(rid, source, topic=topic, gamma=gamma)
 
+    def resolve_many(self, entities, topic=None, gamma=None):
+        """Resolve several in-window records in one shared expansion.
+
+        ``entities`` is a sequence of ``(rid, source)`` pairs; returns the
+        positionally aligned list of :class:`ResolvedCluster`.  Cache
+        misses share one frontier expansion and one batched cascade per
+        ring (see :meth:`~repro.runtime.query.QueryResolver.resolve_many`),
+        so a dashboard refresh over N entities costs far less than N
+        :meth:`resolve` calls while returning bit-identical clusters.
+        """
+        return self.resolver.resolve_many(entities, topic=topic, gamma=gamma)
+
     # ------------------------------------------------------------------
     # telemetry (see repro.obs)
     # ------------------------------------------------------------------

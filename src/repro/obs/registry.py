@@ -316,6 +316,11 @@ class MetricsRegistry:
         ``getter`` returns the current number (or, for ``kind="histogram"``,
         the live :class:`HistogramValue`); it is called only when the
         registry is collected, so binding costs nothing on the hot path.
+
+        Re-binding the same ``(name, labels)`` *replaces* the previous
+        getter instead of accumulating a duplicate sample row: re-enabling
+        telemetry against a shared registry (e.g. after a controller pool
+        rebuild) must not double every bound series.
         """
         labels = dict(labels or {})
         family = self._family(name, help, kind, tuple(labels))
@@ -323,6 +328,15 @@ class MetricsRegistry:
             raise ValueError(
                 f"metric {name!r} takes labels {family.labelnames}, "
                 f"got {tuple(sorted(labels))}")
+        self._rebind(family, labels, getter)
+
+    @staticmethod
+    def _rebind(family: MetricFamily, labels: Dict[str, str],
+                getter: Callable) -> None:
+        for index, (existing, _) in enumerate(family._bound):
+            if existing == labels:
+                family._bound[index] = (labels, getter)
+                return
         family._bound.append((labels, getter))
 
     def bind_multi(self, name: str, label: str,
@@ -335,8 +349,9 @@ class MetricsRegistry:
         becomes a sample labelled ``{label: key}``.
         """
         family = self._family(name, help, kind, (label,))
-        # Marker row: expanded by collect() below.
-        family._bound.append(({"__multi__": label}, getter))
+        # Marker row: expanded by collect() below.  Re-binding the same
+        # marker replaces it (same duplicate-suppression as ``bind``).
+        self._rebind(family, {"__multi__": label}, getter)
 
     def collect(self) -> List[Dict[str, object]]:
         """Snapshot every family (bound getters evaluated now)."""

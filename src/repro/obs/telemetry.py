@@ -296,3 +296,45 @@ def bind_context_metrics(registry: MetricsRegistry, ctx) -> None:
     registry.bind(
         "terids_timestamps_processed", lambda: float(ctx.timestamps_processed),
         help="Stream timestamps processed so far", kind=GAUGE)
+
+    # Runtime controller (sense→decide→act loop).  Bound through
+    # ``ctx.controller_state`` — a plain dict the controller maintains — so
+    # the closures work whether the controller attaches before or after
+    # telemetry is enabled (all-zero samples until it does).
+    def _controller(key, default=0.0):
+        state = ctx.controller_state
+        if not state:
+            return float(default)
+        return float(state.get(key, default))
+
+    registry.bind_multi(
+        "terids_controller_decisions_total", "action",
+        lambda: dict((ctx.controller_state or {}).get("decisions", {})),
+        help="Controller decisions applied, by action kind")
+    registry.bind(
+        "terids_controller_evaluations_total",
+        lambda: _controller("evaluations"),
+        help="Sense→decide→act evaluations run between batches")
+    registry.bind(
+        "terids_controller_target_workers",
+        lambda: _controller("target_workers"),
+        help="Worker/shard count the controller is currently steering to",
+        kind=GAUGE)
+    registry.bind(
+        "terids_controller_target_max_batch",
+        lambda: _controller("target_max_batch"),
+        help="Batch-policy max_batch the controller is steering to",
+        kind=GAUGE)
+    registry.bind(
+        "terids_controller_cooldown_remaining",
+        lambda: _controller("cooldown_remaining"),
+        help="Batches until the next scaling action is allowed", kind=GAUGE)
+    registry.bind(
+        "terids_controller_delta_routing",
+        lambda: _controller("delta_routing", 1.0),
+        help="1 when the shm delta mode is routed, 0 when broadcast",
+        kind=GAUGE)
+    registry.bind(
+        "terids_controller_last_p95_seconds",
+        lambda: _controller("last_p95_seconds"),
+        help="Batch-latency p95 the last decision was based on", kind=GAUGE)

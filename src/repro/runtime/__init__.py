@@ -7,10 +7,19 @@ stages over a shared :class:`~repro.runtime.context.RuntimeContext`, a
 :class:`~repro.runtime.executors.SerialExecutor` and the amortising
 :class:`~repro.runtime.executors.MicroBatchExecutor` (optionally fanned out
 to a process pool sharded by ER-grid region).  Checkpoint / restore of the
-online state lives in :mod:`repro.runtime.checkpoint`.
+online state lives in :mod:`repro.runtime.checkpoint`; the self-tuning
+sense→decide→act loop over the executor/ingest knobs lives in
+:mod:`repro.runtime.controller`.
 """
 
 from repro.runtime.checkpoint import engine_state_to_dict, restore_engine_state
+from repro.runtime.controller import (
+    MODE_ACTIVE,
+    MODE_OBSERVE,
+    MODE_OFF,
+    ControllerPolicy,
+    RuntimeController,
+)
 from repro.runtime.context import (
     IngestStats,
     QueryStats,
@@ -53,10 +62,14 @@ from repro.runtime.stages import (
 
 __all__ = [
     "CandidateLookupStage",
+    "ControllerPolicy",
     "Executor",
     "ImputationStage",
     "IngestStats",
     "MaintenanceStage",
+    "MODE_ACTIVE",
+    "MODE_OBSERVE",
+    "MODE_OFF",
     "MatchingStage",
     "MicroBatchExecutor",
     "POOL_AUTO",
@@ -70,6 +83,7 @@ __all__ = [
     "ResolvedCluster",
     "RuleSelectionStage",
     "RuntimeContext",
+    "RuntimeController",
     "SerialExecutor",
     "ShardedERPool",
     "Stage",

@@ -72,6 +72,13 @@ def engine_state_to_dict(ctx: RuntimeContext) -> Dict:
         "telemetry": {"batch_seq": ctx.batch_seq,
                       "trace_id": ctx.last_trace_id},
     }
+    if ctx.controller_state is not None:
+        # Runtime-controller state (AIMD targets, cool-down, decision
+        # counters): persisting it lets a restored run resume with the
+        # knob targets and cadence it had converged to instead of
+        # re-thrashing from the construction-time defaults.  Plain
+        # JSON-safe dict, attached by repro.runtime.controller.
+        state["controller"] = dict(ctx.controller_state)
     if ctx.rule_maintainer is not None:
         # Incremental rule maintenance (Section 5.5): unlike the other
         # offline substrates, the maintained rules are NOT a deterministic
@@ -170,5 +177,12 @@ def restore_engine_state(ctx: RuntimeContext, state: Dict) -> None:
     telemetry_meta = state.get("telemetry", {})
     ctx.batch_seq = telemetry_meta.get("batch_seq", 0)
     ctx.last_trace_id = telemetry_meta.get("trace_id")
+
+    # Controller state is adopted by the next RuntimeController attached to
+    # this context (its constructor reads ctx.controller_state); absent from
+    # the checkpoint means no controller ran, so clear any leftover.
+    controller_state = state.get("controller")
+    ctx.controller_state = (dict(controller_state)
+                            if controller_state is not None else None)
 
     ctx.timestamps_processed = state.get("timestamps_processed", 0)

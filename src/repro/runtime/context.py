@@ -63,10 +63,18 @@ class TransportStats:
     #: (a gauge, not a running total: rewritten each batch).
     shm_bytes_mapped: int = 0
     per_batch_bytes: List[int] = field(default_factory=list)
+    #: Per-worker CPU placement of the live shm pool (core id per worker,
+    #: ``-1`` = pin failed), from best-effort ``sched_setaffinity`` spread
+    #: (:func:`repro.runtime.workers.place_workers`).  ``None`` when no
+    #: placement-capable pool is live.  A live-pool diagnostic like
+    #: ``per_batch_bytes``, deliberately not persisted: a restored run
+    #: re-places its rebuilt pool.
+    worker_placement: Optional[List[int]] = None
 
     def record_batch(self, nbytes: int, synopses: int = 0, orders: int = 0,
                      evictions: int = 0, routed: int = 0, backfills: int = 0,
-                     shm_mapped: Optional[int] = None) -> None:
+                     shm_mapped: Optional[int] = None,
+                     placement: Optional[List[int]] = None) -> None:
         self.batches += 1
         self.bytes_shipped += nbytes
         self.synopses_shipped += synopses
@@ -76,6 +84,8 @@ class TransportStats:
         self.backfills += backfills
         if shm_mapped is not None:
             self.shm_bytes_mapped = shm_mapped
+        if placement is not None:
+            self.worker_placement = list(placement)
         self.per_batch_bytes.append(nbytes)
 
     def steady_state_bytes(self, skip: Optional[int] = None) -> float:
@@ -111,6 +121,7 @@ class TransportStats:
         for name in self._SCALARS:
             setattr(self, name, state.get(name, 0))
         self.per_batch_bytes.clear()
+        self.worker_placement = None
 
     def reset(self) -> None:
         self.restore({})
@@ -304,6 +315,12 @@ class RuntimeContext:
     #: Trace id of the most recently started batch (``None`` while
     #: telemetry has never been enabled).
     last_trace_id: Optional[str] = None
+    #: Live state of the runtime controller steering this context's
+    #: executor (see :mod:`repro.runtime.controller`): a plain JSON-safe
+    #: dict (mode, AIMD targets, cool-down, decision counters) so
+    #: checkpoints and the metrics registry reach it through the context
+    #: without importing the controller.  ``None`` until one attaches.
+    controller_state: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.pruning is None:
@@ -469,7 +486,11 @@ class RuntimeContext:
             "imputation": {name: getattr(self.imputer.stats, name)
                            for name in IMPUTATION_FIELDS},
             "ingest": self.ingest.as_dict(),
-            "transport": self.transport.as_dict(),
+            # The live-pool placement diagnostic rides in snapshots (it is
+            # a current-state gauge) but not in checkpoints (a restored run
+            # re-places its rebuilt pool).
+            "transport": {**self.transport.as_dict(),
+                          "worker_placement": self.transport.worker_placement},
             "query": self.query.as_dict(),
             "grid": {"cells_examined": self.grid.cells_examined,
                      "tuples_examined": self.grid.tuples_examined},

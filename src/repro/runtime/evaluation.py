@@ -25,6 +25,7 @@ batch partitions are fanned out by ER-grid region.
 from __future__ import annotations
 
 import pickle
+from time import perf_counter
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.pruning import (
@@ -354,15 +355,21 @@ def evaluate_partition(items: Sequence[PartitionItem],
                        keywords: FrozenSet[str], gamma: float, alpha: float,
                        use_topic: bool, use_similarity: bool,
                        use_probability: bool, use_instance: bool,
-                       vectorized: bool = False,
-                       ) -> Tuple[List[List[Tuple[bool, float]]], PruningStats]:
+                       vectorized: bool = False, want_spans: bool = False,
+                       ) -> Tuple[List[List[Tuple[bool, float]]], PruningStats,
+                                  Optional[List[Tuple[str, float, float]]]]:
     """Evaluate one grid-region partition of a micro-batch.
 
     Runs in a worker process; returns, per item, the ``(is_match,
-    probability)`` verdict of each candidate (in candidate order) plus the
-    pruning counters accumulated by the partition, which the executor merges
-    back into the shared :class:`PruningStats`.
+    probability)`` verdict of each candidate (in candidate order), the
+    pruning counters accumulated by the partition (which the executor
+    merges back into the shared :class:`PruningStats`), and — when
+    ``want_spans`` — ``(name, rel_start, duration)`` timing rows relative
+    to this call's entry, which the parent re-anchors under the live batch
+    trace (worker clocks are unsynchronised, only the relative layout
+    ships).  ``spans`` is ``None`` when not requested.
     """
+    base = perf_counter() if want_spans else 0.0
     stats = PruningStats()
     results: List[List[Tuple[bool, float]]] = []
     for query, candidates in items:
@@ -371,16 +378,31 @@ def evaluate_partition(items: Sequence[PartitionItem],
             use_topic=use_topic, use_similarity=use_similarity,
             use_probability=use_probability, use_instance=use_instance,
             stats=stats, vectorized=vectorized))
-    return results, stats
+    spans = ([("refine", 0.0, perf_counter() - base)]
+             if want_spans else None)
+    return results, stats, spans
 
 
 def evaluate_partition_blob(blob: bytes, **kwargs
                             ) -> Tuple[List[List[Tuple[bool, float]]],
-                                       PruningStats]:
+                                       PruningStats,
+                                       Optional[List[Tuple[str, float,
+                                                           float]]]]:
     """:func:`evaluate_partition` over a pre-pickled item list.
 
     The per-batch pool path pickles each partition exactly once in the
     parent (so the executor can account the bytes it ships) and hands the
-    blob through; the worker deserialises here.
+    blob through; the worker deserialises here.  With ``want_spans`` the
+    deserialisation is timed as its own ``unpickle`` row ahead of the
+    evaluation rows.
     """
-    return evaluate_partition(pickle.loads(blob), **kwargs)
+    if not kwargs.get("want_spans"):
+        return evaluate_partition(pickle.loads(blob), **kwargs)
+    base = perf_counter()
+    items = pickle.loads(blob)
+    unpickled = perf_counter() - base
+    results, stats, spans = evaluate_partition(items, **kwargs)
+    spans = [("unpickle", 0.0, unpickled)] + [
+        (name, start + unpickled, duration)
+        for name, start, duration in spans]
+    return results, stats, spans

@@ -262,7 +262,8 @@ class MicroBatchExecutor(Executor):
         #: pickle round-trip, no process spawns).
         self._shm_inline = False
         self._persistent_ctx = None
-        self._shard_params_cache: Optional[Tuple[object, bytes]] = None
+        self._shard_params_cache: Optional[
+            Tuple[object, Optional[int], bytes]] = None
         self._auto_choice: Optional[str] = None
 
     # -- resources -----------------------------------------------------------
@@ -294,17 +295,21 @@ class MicroBatchExecutor(Executor):
         return params
 
     def _shard_params_blob(self, ctx) -> bytes:
-        """The pickled shard params, cached per context.
+        """The pickled shard params, cached per (context, worker count).
 
-        The params (pivot table included) are invariant for one operator;
-        the per-batch sharded path ships them with every batch, so only
-        the serialisation is worth hoisting off the hot path.
+        The params (pivot table included) are invariant for one operator at
+        one worker count; the per-batch sharded path ships them with every
+        batch, so only the serialisation is worth hoisting off the hot
+        path.  ``worker_count`` is baked into the params, so the cache key
+        includes ``max_workers`` — a reconfigured executor must not ship a
+        stale shard count.
         """
-        if self._shard_params_cache is None or \
-                self._shard_params_cache[0] is not ctx:
-            self._shard_params_cache = (ctx, pickle.dumps(
+        cached = self._shard_params_cache
+        if (cached is None or cached[0] is not ctx
+                or cached[1] != self.max_workers):
+            self._shard_params_cache = (ctx, self.max_workers, pickle.dumps(
                 self._shard_params(ctx), protocol=pickle.HIGHEST_PROTOCOL))
-        return self._shard_params_cache[1]
+        return self._shard_params_cache[2]
 
     def _ensure_persistent_pool(self, ctx) -> PersistentRefinementPool:
         if self._persistent_pool is not None and self._persistent_ctx is not ctx:
@@ -409,6 +414,80 @@ class MicroBatchExecutor(Executor):
             self._sharded_pool = None
         self._teardown_shm()
         self._persistent_ctx = None
+        # A closed executor may be reused (the controller rebuilds pools
+        # through the ordinary ``_ensure_*`` lazy paths); drop every piece
+        # of derived state that bakes in the old configuration.
+        self._shard_params_cache = None
+        self._auto_choice = None
+
+    # -- runtime reconfiguration ---------------------------------------------
+    def reconfigure(self, *, max_workers: Optional[int] = None,
+                    pool_mode: Optional[str] = None,
+                    delta_routing: Optional[bool] = None,
+                    batch_size: Optional[int] = None) -> dict:
+        """Apply a safe reconfiguration at a quiescent batch boundary.
+
+        Callers (the :class:`~repro.runtime.controller.RuntimeController`,
+        tests, operators) invoke this *between* batches — there are no
+        in-flight orders then, so resident pools can be torn down and
+        lazily re-seeded on the next batch.  Residency self-healing (the
+        pools reconcile against ``grid.mutation_count`` in
+        ``begin_batch``) guarantees the rebuilt replicas converge on the
+        exact live window, so match sets and counters stay bit-identical
+        to an executor constructed with the new knobs from the start.
+
+        Only the *elastic* knobs are reconfigurable: ``max_workers``,
+        ``pool_mode``, ``delta_routing`` and ``batch_size``.  Structural
+        knobs (``shard_lookup``, ``vectorized``, ``shm_plane``) change the
+        algorithm shape and stay fixed at construction.  ``None`` leaves a
+        knob unchanged.  Returns a ``{knob: (old, new)}`` dict of the
+        knobs that actually changed (empty when the call was a no-op).
+        """
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if pool_mode is not None:
+            if pool_mode not in (POOL_PERSISTENT, POOL_PER_BATCH, POOL_AUTO):
+                raise ValueError(
+                    f"pool_mode must be {POOL_PERSISTENT!r}, "
+                    f"{POOL_PER_BATCH!r} or {POOL_AUTO!r}, got {pool_mode!r}")
+            if self.shm_plane and pool_mode != POOL_PERSISTENT:
+                raise ValueError("shm_plane requires pool_mode="
+                                 f"{POOL_PERSISTENT!r}; tear the executor "
+                                 "down instead of downgrading it")
+        if delta_routing is not None and not self.shm_plane \
+                and delta_routing is False:
+            # Harmless (the flag is only read on the shm path) but almost
+            # certainly a controller bug — surface it.
+            raise ValueError("delta_routing is only meaningful with "
+                             "shm_plane")
+
+        changed: dict = {}
+        if batch_size is not None and batch_size != self.batch_size:
+            changed["batch_size"] = (self.batch_size, batch_size)
+            self.batch_size = batch_size
+        if delta_routing is not None and delta_routing != self.delta_routing:
+            # Read per batch on the shm path; flipping it is free — no
+            # pool teardown, the next batch simply routes (or broadcasts).
+            changed["delta_routing"] = (self.delta_routing, delta_routing)
+            self.delta_routing = delta_routing
+        pool_shape_changed = (
+            (max_workers is not None and max_workers != self.max_workers)
+            or (pool_mode is not None and pool_mode != self.pool_mode))
+        if pool_shape_changed:
+            if max_workers is not None and max_workers != self.max_workers:
+                changed["max_workers"] = (self.max_workers, max_workers)
+                self.max_workers = max_workers
+            if pool_mode is not None and pool_mode != self.pool_mode:
+                changed["pool_mode"] = (self.pool_mode, pool_mode)
+                self.pool_mode = pool_mode
+            # The worker count is baked into pool processes, shard params
+            # and the shm plane's routing; drain everything and let the
+            # next batch re-seed lazily under the new shape.  ``close``
+            # also resets the auto-mode choice and the params-blob cache.
+            self.close()
+        return changed
 
     # -- scheduling ----------------------------------------------------------
     def process_batch(self, pipeline: Pipeline,
@@ -699,10 +778,13 @@ class MicroBatchExecutor(Executor):
         blob = pickle.dumps((window_rows, deltas, ops),
                             protocol=pickle.HIGHEST_PROTOCOL)
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(evaluate_shard_partition, blob, worker, params_blob)
+        trace = ctx.telemetry.current_trace
+        want_spans = trace is not None
+        futures = {
+            pool.submit(evaluate_shard_partition, blob, worker, params_blob,
+                        want_spans): worker
             for worker in range(self.max_workers)
-        ]
+        }
         ctx.transport.record_batch(
             self.max_workers * (len(blob) + len(params_blob)),
             synopses=self.max_workers * (len(window_rows) + len(deltas)),
@@ -712,8 +794,11 @@ class MicroBatchExecutor(Executor):
         cells_delta = 0
         tuples_delta = 0
         for future in as_completed(futures):
-            results, stats, counters = future.result()
+            results, stats, counters, spans = future.result()
             merged.merge(stats)
+            if want_spans:
+                trace.add_worker_spans("per_batch_shard", futures[future],
+                                       spans)
             cells_delta += counters[0]
             tuples_delta += counters[1]
             for task_index, task_matches in results:
@@ -763,6 +848,8 @@ class MicroBatchExecutor(Executor):
             partitions.setdefault(region, []).append(task)
 
         pool = self._ensure_pool()
+        trace = ctx.telemetry.current_trace
+        want_spans = trace is not None
         futures = {}
         total_bytes = 0
         total_synopses = 0
@@ -784,8 +871,8 @@ class MicroBatchExecutor(Executor):
                 use_similarity=pruning.use_similarity,
                 use_probability=pruning.use_probability,
                 use_instance=pruning.use_instance,
-                vectorized=self.vectorized)
-            futures[future] = grouped
+                vectorized=self.vectorized, want_spans=want_spans)
+            futures[future] = (region, grouped)
         ctx.transport.record_batch(total_bytes, synopses=total_synopses,
                                    orders=total_orders)
 
@@ -793,9 +880,11 @@ class MicroBatchExecutor(Executor):
         # longer blocks the already-completed ones (pair verdicts are
         # order-free; phase 4 replays the result set in arrival order).
         for future in as_completed(futures):
-            grouped = futures[future]
-            verdicts_per_task, partition_stats = future.result()
+            region, grouped = futures[future]
+            verdicts_per_task, partition_stats, spans = future.result()
             pruning.stats.merge(partition_stats)
+            if want_spans:
+                trace.add_worker_spans("per_batch_refinement", region, spans)
             for task, verdicts in zip(grouped, verdicts_per_task):
                 for candidate, (is_match, probability) in zip(task.candidates,
                                                               verdicts):

@@ -167,6 +167,71 @@ class QueryResolver:
         tel.observe_resolve(perf_counter() - start, cached=False)
         return cluster
 
+    def resolve_many(self, entities,
+                     topic: Optional[FrozenSet[str]] = None,
+                     gamma: Optional[float] = None) -> List[ResolvedCluster]:
+        """Resolve several in-window records in one collective expansion.
+
+        ``entities`` is a sequence of ``(rid, source)`` pairs; the result
+        list is positionally aligned with it.  Cache hits are served
+        directly; every miss joins ONE shared frontier — the fixpoint loop
+        seeds all of them at once, so overlapping neighbourhoods are
+        expanded once, each candidate ring is evaluated in one batched
+        cascade across all queries, and a pair of records is never
+        evaluated twice however many queries reach it.  Per-seed clusters
+        are then read off the connected components of the shared match
+        edges, and each is cached under its normal per-seed key — so every
+        returned cluster is bit-identical to what :meth:`resolve` would
+        have returned for that entity alone.
+
+        Raises :class:`KeyError` when any named record is not in the live
+        window (before any expansion work is done).
+        """
+        ctx = self.ctx
+        pruning = ctx.pruning
+        keywords = (pruning.keywords if topic is None
+                    else normalise_keywords(topic))
+        gamma_value = pruning.gamma if gamma is None else float(gamma)
+        keys: List[RecordKey] = []
+        for rid, source in entities:
+            if not ctx.grid.contains(rid, source):
+                raise KeyError(
+                    f"({rid!r}, {source!r}) is not in the live window")
+            keys.append((rid, source))
+        tel = ctx.telemetry
+        start = perf_counter()
+        resolved: Dict[RecordKey, ResolvedCluster] = {}
+        misses: List[RecordKey] = []
+        for key in keys:
+            if key in resolved or key in misses:
+                continue  # duplicate input entity: one expansion suffices
+            ctx.query.resolves += 1
+            cache_key: CacheKey = (key[0], key[1], keywords, gamma_value)
+            entry = self._cache.get(cache_key)
+            if entry is not None:
+                ctx.query.cache_hits += 1
+                self._cache.move_to_end(cache_key)
+                tel.observe_resolve(perf_counter() - start, cached=True)
+                resolved[key] = entry.cluster
+            else:
+                ctx.query.cache_misses += 1
+                misses.append(key)
+        if misses:
+            with tel.span("resolve"):
+                members, edges = self._collect(misses, keywords, gamma_value)
+            components = self._components(members, edges)
+            elapsed = perf_counter() - start
+            for seed in misses:
+                component = components[seed]
+                cluster = self._component_cluster(
+                    seed, component, edges, keywords, gamma_value)
+                member_synopses = {key: members[key] for key in component}
+                self._store((seed[0], seed[1], keywords, gamma_value),
+                            cluster, member_synopses, gamma_value)
+                resolved[seed] = cluster
+                tel.observe_resolve(elapsed, cached=False)
+        return [resolved[key] for key in keys]
+
     def clear(self) -> None:
         """Drop every cached cluster (counted as invalidations)."""
         self.ctx.query.cache_invalidations += len(self._cache)
@@ -182,6 +247,23 @@ class QueryResolver:
                 gamma: float) -> Tuple[ResolvedCluster,
                                        Dict[RecordKey, RecordSynopsis]]:
         """Frontier fixpoint around ``seed``; returns cluster + member map."""
+        members, edges = self._collect([seed], keywords, gamma)
+        # A single-seed expansion only admits members through match edges,
+        # so every member is in the seed's component already.
+        cluster = self._component_cluster(seed, set(members), edges,
+                                          keywords, gamma)
+        return cluster, members
+
+    def _collect(self, seeds: List[RecordKey], keywords: FrozenSet[str],
+                 gamma: float) -> Tuple[Dict[RecordKey, RecordSynopsis],
+                                        Dict[Tuple, MatchPair]]:
+        """Shared frontier fixpoint around all ``seeds``.
+
+        Returns the member-synopsis map (the union of every seed's
+        transitive closure) and the match edges found; each candidate pair
+        is evaluated exactly once across all seeds, in the orientation the
+        eager path saw it.
+        """
         ctx = self.ctx
         grid = ctx.grid
         pruning = ctx.pruning
@@ -191,11 +273,11 @@ class QueryResolver:
         arrival = {key: index
                    for index, (key, _) in enumerate(grid.synopsis_items())}
         members: Dict[RecordKey, RecordSynopsis] = {
-            seed: grid.get_synopsis(*seed)}
+            seed: grid.get_synopsis(*seed) for seed in seeds}
         edges: Dict[Tuple, MatchPair] = {}
         evaluated: Set[Tuple[RecordKey, RecordKey]] = set()
         scratch = PruningStats()
-        ring: List[RecordKey] = [seed]
+        ring: List[RecordKey] = list(members)
         # Interactive lookups must not perturb the Figure-4 style counters
         # the goldens and checkpoints pin for the eager path.
         saved = (grid.cells_examined, grid.tuples_examined)
@@ -264,13 +346,45 @@ class QueryResolver:
                                 ring.append(endpoint)
         finally:
             grid.cells_examined, grid.tuples_examined = saved
-        cluster = ResolvedCluster(
+        return members, edges
+
+    @staticmethod
+    def _components(members: Dict[RecordKey, RecordSynopsis],
+                    edges: Dict[Tuple, MatchPair]) -> Dict[RecordKey,
+                                                           Set[RecordKey]]:
+        """Connected components of the match edges over ``members``."""
+        parent: Dict[RecordKey, RecordKey] = {key: key for key in members}
+
+        def find(key: RecordKey) -> RecordKey:
+            root = key
+            while parent[root] != root:
+                root = parent[root]
+            while parent[key] != root:  # path compression
+                parent[key], key = root, parent[key]
+            return root
+
+        for pair in edges.values():
+            left = (pair.left_rid, pair.left_source)
+            right = (pair.right_rid, pair.right_source)
+            parent[find(left)] = find(right)
+        groups: Dict[RecordKey, Set[RecordKey]] = {}
+        for key in members:
+            groups.setdefault(find(key), set()).add(key)
+        return {key: groups[find(key)] for key in members}
+
+    @staticmethod
+    def _component_cluster(seed: RecordKey, component: Set[RecordKey],
+                           edges: Dict[Tuple, MatchPair],
+                           keywords: FrozenSet[str],
+                           gamma: float) -> ResolvedCluster:
+        """Build one seed's cluster from its component's members + edges."""
+        pairs = [pair for pair in edges.values()
+                 if (pair.left_rid, pair.left_source) in component]
+        return ResolvedCluster(
             rid=seed[0], source=seed[1], topic=keywords, gamma=gamma,
             members=tuple(sorted((source, rid)
-                                 for rid, source in members)),
-            pairs=tuple(sorted(edges.values(),
-                               key=lambda pair: pair.key())))
-        return cluster, members
+                                 for rid, source in component)),
+            pairs=tuple(sorted(pairs, key=lambda pair: pair.key())))
 
     # -- cache bookkeeping ---------------------------------------------------
     def _store(self, cache_key: CacheKey, cluster: ResolvedCluster,

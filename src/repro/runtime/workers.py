@@ -46,6 +46,7 @@ and only matches + counters cross the process boundary.
 
 from __future__ import annotations
 
+import os
 import pickle
 import queue as queue_module
 import traceback
@@ -94,6 +95,38 @@ def _rebuild_imputed(record: Record, schema,
     imputed.candidates = candidates
     imputed._instances = None
     return imputed
+
+
+def place_workers(processes) -> Optional[List[int]]:
+    """Best-effort CPU placement of pool worker processes.
+
+    Pins each worker to one core, round-robin over the parent's effective
+    CPU set (``os.sched_getaffinity``), so resident shards stop migrating
+    between cores — keeping their mapped shm pages and refinement-profile
+    caches warm in one core's cache hierarchy.  Strictly best-effort: on
+    platforms without the ``sched_*affinity`` calls (macOS, Windows) or
+    when pinning is denied the pool runs exactly as before.  Returns the
+    per-worker core ids (``-1`` for a worker that could not be pinned), or
+    ``None`` when placement is unavailable entirely.
+    """
+    if not hasattr(os, "sched_getaffinity") \
+            or not hasattr(os, "sched_setaffinity"):  # pragma: no cover
+        return None
+    try:
+        cores = sorted(os.sched_getaffinity(0))
+    except OSError:  # pragma: no cover - restricted environments
+        return None
+    if not cores:  # pragma: no cover - defensive
+        return None
+    placement: List[int] = []
+    for index, process in enumerate(processes):
+        core = cores[index % len(cores)]
+        try:
+            os.sched_setaffinity(process.pid, {core})
+            placement.append(core)
+        except OSError:  # pragma: no cover - permission-restricted pin
+            placement.append(-1)
+    return placement
 
 
 def _worker_main(worker_id: int, requests, responses, params_blob: bytes) -> None:
@@ -181,6 +214,9 @@ class _ResidentWorkerPool:
         ]
         for process in self._processes:
             process.start()
+        #: Per-worker core pins (``None`` when the platform offers no
+        #: affinity control) — see :func:`place_workers`.
+        self.placement: Optional[List[int]] = place_workers(self._processes)
         #: The current handle + parent object per key.  Identity decides
         #: residency, so a re-built parent object (checkpoint restore)
         #: triggers a re-ship under a fresh handle.
@@ -746,9 +782,10 @@ class ShardedERPool(_ResidentWorkerPool):
 
 
 def evaluate_shard_partition(blob: bytes, worker_id: int,
-                             params_blob: bytes
+                             params_blob: bytes, want_spans: bool = False
                              ) -> Tuple[List[Tuple[int, List[ShardMatch]]],
-                                        PruningStats, Tuple[int, int]]:
+                                        PruningStats, Tuple[int, int],
+                                        Optional[List]]:
     """One stateless shard evaluation (the per-batch sharded-lookup mode).
 
     ``blob`` is the pre-pickled ``(window_rows, deltas, ops)`` snapshot: the
@@ -756,14 +793,29 @@ def evaluate_shard_partition(blob: bytes, worker_id: int,
     deltas, and the arrival-ordered ops.  Rebuilds a transient
     :class:`ResidentShard`, backfills the window, replays the ops and
     returns this worker's matches + counters — the shipping-cost baseline
-    against the resident :class:`ShardedERPool`.
+    against the resident :class:`ShardedERPool`.  With ``want_spans``, the
+    final element carries ``(name, rel_start, duration)`` timing rows
+    (relative to this call's entry, prefixed by the window ``rebuild``
+    stage) for the parent to stitch under the live batch trace; ``None``
+    otherwise.
     """
+    base = perf_counter() if want_spans else 0.0
     shard = ResidentShard(pickle.loads(params_blob), worker_id)
     window_rows, deltas, ops = pickle.loads(blob)
     shard.apply_insertions(window_rows)
     shard.apply_insertions(deltas)
     shard.insert_handles([handle for handle, _, _ in window_rows])
-    return shard.execute(ops)
+    exec_spans: Optional[List] = [] if want_spans else None
+    rebuilt = perf_counter() if want_spans else 0.0
+    results, stats, counters = shard.execute(ops, spans=exec_spans)
+    if want_spans:
+        offset = rebuilt - base
+        spans: Optional[List] = [("rebuild", 0.0, offset)] + [
+            (name, start + offset, duration)
+            for name, start, duration in exec_spans]
+    else:
+        spans = None
+    return results, stats, counters, spans
 
 
 # ---------------------------------------------------------------------------
@@ -1145,6 +1197,8 @@ class ShmShardedERPool(_ResidentWorkerPool):
             self._resident: Dict[SynopsisKey, Tuple[int, RecordSynopsis]] = {}
             self._next_handle = 0
             self._closed = False
+            #: Inline replicas run in-process: nothing to pin.
+            self.placement: Optional[List[int]] = None
         else:
             super().__init__(workers, params)
         #: Parent object of every live handle — kept (even past key
@@ -1331,7 +1385,8 @@ class ShmShardedERPool(_ResidentWorkerPool):
                 evictions=len(self._retired),
                 routed=routed_count,
                 backfills=backfill_count,
-                shm_mapped=self._plane.nbytes)
+                shm_mapped=self._plane.nbytes,
+                placement=self.placement)
         for handle in self._retired:
             self._by_handle.pop(handle, None)
         del self._retired[:]

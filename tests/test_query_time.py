@@ -471,3 +471,87 @@ def test_checkpoint_restores_query_stats_but_drops_the_cache():
         assert engine.ctx.query.as_dict() == expected
     finally:
         engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Batched resolution: resolve_many shares one expansion across queries
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("make_executor", EXECUTORS)
+def test_resolve_many_is_bit_identical_to_per_seed_resolve(make_executor):
+    workload = _small_workload()
+    engine = TERiDSEngine(repository=workload.repository,
+                          config=_small_config(workload),
+                          executor=make_executor())
+    try:
+        engine.run(workload.interleaved_records())
+        keys = [(rid, source)
+                for (rid, source), _ in engine.grid.synopsis_items()]
+        clusters = engine.resolve_many(keys)
+        assert len(clusters) == len(keys)
+        for (rid, source), cluster in zip(keys, clusters):
+            assert (cluster.rid, cluster.source) == (rid, source)
+            assert_cluster_equals_closure(engine, rid, source,
+                                          cluster=cluster)
+    finally:
+        engine.close()
+
+
+def test_resolve_many_shares_expansion_and_caches_per_seed():
+    workload = _small_workload()
+    engine = TERiDSEngine(repository=workload.repository,
+                          config=_small_config(workload))
+    try:
+        engine.run(workload.interleaved_records())
+        keys = [(rid, source)
+                for (rid, source), _ in engine.grid.synopsis_items()]
+        clusters = engine.resolve_many(keys)
+        stats = engine.ctx.query.as_dict()
+        # One frontier expansion per unique entity: the shared ``evaluated``
+        # set means no neighbourhood is expanded twice across the batch.
+        assert stats["frontier_expansions"] == len(keys)
+        assert stats["cache_misses"] == len(keys)
+        # Every seed landed in the cache: a per-seed resolve is now a hit
+        # returning the identical cluster object.
+        for (rid, source), cluster in zip(keys, clusters):
+            assert engine.resolve(rid, source) is cluster
+        assert engine.ctx.query.as_dict()["cache_hits"] == len(keys)
+    finally:
+        engine.close()
+
+
+def test_resolve_many_mixes_hits_misses_and_duplicates():
+    workload = _small_workload()
+    engine = TERiDSEngine(repository=workload.repository,
+                          config=_small_config(workload))
+    try:
+        engine.run(workload.interleaved_records())
+        keys = [(rid, source)
+                for (rid, source), _ in engine.grid.synopsis_items()]
+        warm = engine.resolve(*keys[0])
+        batch = [keys[0], keys[1], keys[0], keys[2]]
+        clusters = engine.resolve_many(batch)
+        assert clusters[0] is warm          # served from the cache
+        assert clusters[2] is clusters[0]   # duplicate input, one lookup
+        stats = engine.ctx.query.as_dict()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 3   # keys[0] cold + keys[1] + keys[2]
+        for (rid, source), cluster in zip(batch, clusters):
+            assert_cluster_equals_closure(engine, rid, source,
+                                          cluster=cluster)
+    finally:
+        engine.close()
+
+
+def test_resolve_many_unknown_entity_raises_before_any_work():
+    workload = _small_workload()
+    engine = TERiDSEngine(repository=workload.repository,
+                          config=_small_config(workload))
+    try:
+        engine.run(workload.interleaved_records())
+        (rid, source), _ = engine.grid.synopsis_items()[0]
+        before = engine.ctx.query.as_dict()
+        with pytest.raises(KeyError):
+            engine.resolve_many([(rid, source), ("ghost", "stream-a")])
+        assert engine.ctx.query.as_dict() == before  # nothing was counted
+    finally:
+        engine.close()
